@@ -1,0 +1,151 @@
+// Command vpack runs the full Vacuum Packing pipeline on one benchmark
+// input and prints a detailed report: detected phases, identified regions,
+// constructed packages with their links and launch points, and the timed
+// original-vs-packed comparison.
+//
+// Usage:
+//
+//	vpack -bench perl -input A [-scale N] [-noinfer] [-nolink] [-v]
+//	vpack -asm program.vpasm [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/phasedb"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		asmPath = flag.String("asm", "", "run a hand-written VPIR assembly file instead of a benchmark")
+		bench   = flag.String("bench", "perl", "benchmark name (see -list)")
+		input   = flag.String("input", "A", "input name: A, B or C")
+		scale   = flag.Int64("scale", 0, "override the input's iteration scale")
+		noInfer = flag.Bool("noinfer", false, "disable temperature inference")
+		noLink  = flag.Bool("nolink", false, "disable package linking")
+		dynL    = flag.Bool("dynlaunch", false, "use dynamic launch-point selection instead of static links")
+		noOpt   = flag.Bool("noopt", false, "disable layout and rescheduling")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		verbose = flag.Bool("v", false, "per-phase and per-package detail")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.Ordered() {
+			fmt.Printf("%-10s %-40s inputs:", b.Name, b.Paper)
+			for _, in := range b.Inputs {
+				fmt.Printf(" %s(x%d)", in.Name, in.Scale)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	var p *prog.Program
+	var title string
+	if *asmPath != "" {
+		src, err := os.ReadFile(*asmPath)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		title = *asmPath
+	} else {
+		b, err := workload.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		in, err := b.InputByName(*input)
+		if err != nil {
+			fatal(err)
+		}
+		if *scale > 0 {
+			in.Scale = *scale
+		}
+		p = b.Build(in)
+		title = fmt.Sprintf("%s/%s", b.Name, in.Name)
+	}
+
+	cfg := core.ScaledConfig()
+	cfg.Region.EnableInference = !*noInfer
+	cfg.Pack.EnableLinking = !*noLink
+	cfg.Pack.DynamicLaunch = *dynL
+	if *dynL {
+		cfg.Pack.EnableLinking = false
+	}
+	cfg.EnableLayout = !*noOpt
+	cfg.EnableSchedule = !*noOpt
+
+	fmt.Printf("%s: %d funcs, %d blocks, %d static insts\n",
+		title, len(p.Funcs), p.NumBlocks(), p.NumInsts())
+
+	out, err := core.Run(cfg, p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile: %d insts, %d cond branches, %d raw detections -> %d phases (%d redundant, %d skipped)\n",
+		out.ProfileInsts, out.ProfileBranches, out.Detections,
+		len(out.DB.Phases), out.DB.Redundant, out.SkippedPhases)
+
+	if *verbose {
+		for _, ph := range out.DB.Phases {
+			fmt.Printf("  phase %d: %d branches, %d detections, exec weight %d\n",
+				ph.ID, len(ph.Branches), ph.Detections, ph.TotalExec())
+		}
+		for _, r := range out.Regions {
+			fmt.Printf("  region phase %d: %d profiled, %d hot blocks, +%d inferred hot, %d inferred cold, %d grown\n",
+				r.PhaseID, r.ProfiledBranches, r.NumHot(), r.InferredHot, r.InferredCold, r.GrownBlocks)
+		}
+		for _, pk := range out.Pack.Packages {
+			linked := 0
+			for _, e := range pk.Exits {
+				if e.Linked != nil {
+					linked++
+				}
+			}
+			fmt.Printf("  package %-24s root=%-12s blocks=%-4d branches=%-3d entries=%d exits=%d linked=%d inlines=%d\n",
+				pk.Fn.Name, pk.Root.Name, len(pk.Fn.Blocks), pk.Branches,
+				len(pk.Entries), len(pk.Exits), linked, pk.InlinedCalls)
+		}
+	}
+
+	fmt.Printf("packages: %d in %d groups, %d links, %d monitors, %d launch points\n",
+		len(out.Pack.Packages), len(out.Pack.Groups), out.Pack.Links, out.Pack.Monitors, out.Pack.LaunchPoints)
+	fmt.Printf("static: orig %d insts, +%d added (%.1f%%), %d selected (%.1f%%), replication %.2f\n",
+		out.Pack.OrigInsts, out.Pack.AddedInsts, out.Pack.CodeGrowth()*100,
+		out.Pack.SelectedInsts, out.Pack.SelectedFraction()*100, out.Pack.Replication())
+
+	ev, err := out.Evaluate(cpu.DefaultConfig(), 0)
+	if err != nil {
+		fatal(err)
+	}
+	eq := "EQUIVALENT"
+	if !ev.Equivalent {
+		eq = "DIVERGED (BUG)"
+	}
+	fmt.Printf("timed: base %d cycles (IPC %.2f) vs packed %d cycles (IPC %.2f)\n",
+		ev.Base.Cycles, ev.Base.IPC(), ev.Packed.Cycles, ev.Packed.IPC())
+	fmt.Printf("coverage %.1f%%  speedup %.3f  %s\n", ev.Coverage*100, ev.Speedup, eq)
+
+	cz := out.DB.Categorize()
+	fmt.Printf("branch categories (dynamic-weighted):")
+	for c := phasedb.Category(0); c < phasedb.NumCategories; c++ {
+		fmt.Printf(" %s=%.1f%%", c, cz.Fraction(c)*100)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command vpbench regenerates the paper's evaluation tables and figures
+// over the synthetic benchmark suite.
+//
+// Usage:
+//
+//	vpbench                 # everything (Tables 1-3, Figures 8-10)
+//	vpbench -table 3        # one table
+//	vpbench -figure 8       # one figure
+//	vpbench -bench perl     # restrict the suite
+//	vpbench -scale 1        # force a smaller iteration scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "print only Table N (1, 2 or 3)")
+		figure  = flag.Int("figure", 0, "print only Figure N (8, 9 or 10)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset")
+		scale   = flag.Int64("scale", 0, "override every input's iteration scale")
+		quiet   = flag.Bool("q", false, "suppress per-input progress lines")
+	)
+	flag.Parse()
+
+	if *table == 2 {
+		fmt.Print(report.Table2(cpu.DefaultConfig()))
+		return
+	}
+
+	opts := report.Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		ScaleOverride: *scale,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	suite, err := report.RunSuite(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpbench:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *table == 1:
+		fmt.Print(suite.Table1())
+	case *table == 3:
+		fmt.Print(suite.Table3())
+	case *figure == 8:
+		fmt.Print(suite.Figure8())
+	case *figure == 9:
+		fmt.Print(suite.Figure9())
+	case *figure == 10:
+		fmt.Print(suite.Figure10())
+	case *table != 0 || *figure != 0:
+		fmt.Fprintln(os.Stderr, "vpbench: unknown table/figure")
+		os.Exit(2)
+	default:
+		fmt.Println(suite.Table1())
+		fmt.Println(report.Table2(cpu.DefaultConfig()))
+		fmt.Println(suite.Figure8())
+		fmt.Println(suite.Table3())
+		fmt.Println(suite.Figure9())
+		fmt.Println(suite.Figure10())
+	}
+}

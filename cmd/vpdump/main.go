@@ -1,0 +1,174 @@
+// Command vpdump renders control-flow graphs as Graphviz DOT: a whole
+// function, a phase's region temperatures superimposed on it (the paper's
+// Figure 3 view), or an extracted package with its exits and links.
+//
+// Usage:
+//
+//	vpdump -bench m88ksim -fn simulate                 # plain CFG
+//	vpdump -bench m88ksim -fn simulate -phase 0        # region temperatures
+//	vpdump -bench m88ksim -pkg 0                       # extracted package
+//	vpdump -asm prog.vpasm -fn main -phase 0
+//
+// Pipe the output to `dot -Tsvg`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/region"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		asmPath = flag.String("asm", "", "dump a hand-written VPIR assembly file")
+		bench   = flag.String("bench", "m88ksim", "benchmark name")
+		input   = flag.String("input", "A", "input name")
+		fnName  = flag.String("fn", "", "function to dump (default: hottest region function)")
+		phase   = flag.Int("phase", -1, "overlay this phase's region temperatures")
+		pkgIdx  = flag.Int("pkg", -1, "dump the Nth extracted package instead")
+	)
+	flag.Parse()
+
+	var p *prog.Program
+	if *asmPath != "" {
+		src, err := os.ReadFile(*asmPath)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		b, err := workload.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		in, err := b.InputByName(*input)
+		if err != nil {
+			fatal(err)
+		}
+		p = b.Build(in)
+	}
+
+	cfg := core.ScaledConfig()
+	if *pkgIdx >= 0 {
+		out, err := core.Run(cfg, p)
+		if err != nil {
+			fatal(err)
+		}
+		if *pkgIdx >= len(out.Pack.Packages) {
+			fatal(fmt.Errorf("only %d packages", len(out.Pack.Packages)))
+		}
+		pk := out.Pack.Packages[*pkgIdx]
+		fmt.Print(DumpFunc(pk.Fn, nil))
+		return
+	}
+
+	var reg *region.Region
+	if *phase >= 0 {
+		img, err := p.Linearize()
+		if err != nil {
+			fatal(err)
+		}
+		db, _, err := core.Profile(cfg, img, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if *phase >= len(db.Phases) {
+			fatal(fmt.Errorf("only %d phases detected", len(db.Phases)))
+		}
+		reg, err = region.Identify(cfg.Region, img, db.Phases[*phase])
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fn := p.FuncByName(*fnName)
+	if fn == nil && reg != nil {
+		if funcs := reg.HotFuncs(p); len(funcs) > 0 {
+			fn = funcs[0]
+		}
+	}
+	if fn == nil {
+		fn = p.Main
+	}
+	fmt.Print(DumpFunc(fn, reg))
+}
+
+// DumpFunc renders one function's CFG as DOT, coloring blocks and arcs by
+// region temperature when a region is supplied.
+func DumpFunc(fn *prog.Func, reg *region.Region) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontname=monospace];\n", fn.Name)
+	blockColor := func(b *prog.Block) string {
+		if reg == nil {
+			return "white"
+		}
+		switch reg.BlockTemp[b] {
+		case region.Hot:
+			return "tomato"
+		case region.Cold:
+			return "lightblue"
+		default:
+			return "lightgray"
+		}
+	}
+	arcAttr := func(k region.ArcKey) string {
+		label := "F"
+		if k.Taken {
+			label = "T"
+		}
+		if reg == nil {
+			return fmt.Sprintf("label=%q", label)
+		}
+		switch reg.ArcTemp[k] {
+		case region.Hot:
+			return fmt.Sprintf("label=%q, color=red, penwidth=2", label)
+		case region.Cold:
+			return fmt.Sprintf("label=%q, color=blue, style=dashed", label)
+		default:
+			return fmt.Sprintf("label=%q, color=gray", label)
+		}
+	}
+	for _, b := range fn.Blocks {
+		label := fmt.Sprintf("b%d (%d insts)\\n%s", b.ID, len(b.Insts), b.Kind)
+		if len(b.ExitConsumes) > 0 {
+			label += fmt.Sprintf("\\nconsumes %d regs", len(b.ExitConsumes))
+		}
+		fmt.Fprintf(&sb, "  b%d [label=%q, style=filled, fillcolor=%s];\n", b.ID, label, blockColor(b))
+	}
+	escape := func(dst *prog.Block, attr string) string {
+		if dst.Fn == fn {
+			return fmt.Sprintf("b%d [%s]", dst.ID, attr)
+		}
+		// Cross-function arc: render a distinct terminal node.
+		return fmt.Sprintf("%q [%s, style=dotted]", dst.String(), attr)
+	}
+	for _, b := range fn.Blocks {
+		switch b.Kind {
+		case prog.TermFall:
+			fmt.Fprintf(&sb, "  b%d -> %s;\n", b.ID, escape(b.Next, arcAttr(region.ArcKey{From: b, Taken: false})))
+		case prog.TermBranch:
+			fmt.Fprintf(&sb, "  b%d -> %s;\n", b.ID, escape(b.Taken, arcAttr(region.ArcKey{From: b, Taken: true})))
+			fmt.Fprintf(&sb, "  b%d -> %s;\n", b.ID, escape(b.Next, arcAttr(region.ArcKey{From: b, Taken: false})))
+		case prog.TermCall:
+			fmt.Fprintf(&sb, "  b%d -> %s;\n", b.ID, escape(b.Next, arcAttr(region.ArcKey{From: b, Taken: false})))
+			fmt.Fprintf(&sb, "  b%d -> %q [style=dotted, label=\"call\"];\n", b.ID, b.Callee.Name)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpdump:", err)
+	os.Exit(1)
+}

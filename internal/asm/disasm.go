@@ -1,0 +1,104 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/prog"
+)
+
+// Disassemble renders a program in assembler syntax. Labels are the
+// globally unique `B<ID>` names, so cross-function references produced by
+// package extraction render (and reassemble) correctly.
+//
+// The output is designed to reassemble to a semantically identical program:
+// `Assemble(Disassemble(p))` linearizes to the same code image as p, though
+// block identities may differ (non-adjacent branch fallthroughs become tiny
+// explicit jump blocks, exactly the jumps the linearizer would synthesize).
+func Disassemble(p *prog.Program) string {
+	var sb strings.Builder
+	if len(p.Data) > 0 {
+		const perLine = 8
+		for i := 0; i < len(p.Data); i += perLine {
+			end := i + perLine
+			if end > len(p.Data) {
+				end = len(p.Data)
+			}
+			sb.WriteString(".data")
+			for _, v := range p.Data[i:end] {
+				fmt.Fprintf(&sb, " %d", v)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	label := func(b *prog.Block) string { return fmt.Sprintf("B%d", b.ID) }
+
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "\n.func %s\n", f.Name)
+		if p.Main == f {
+			sb.WriteString(".main\n")
+		}
+		if f.IsPackage {
+			fmt.Fprintf(&sb, ".package %d\n", f.PhaseID)
+		}
+		for bi, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:", label(b))
+			if len(b.ExitConsumes) > 0 {
+				sb.WriteString(" ; exit consumes")
+				for _, r := range b.ExitConsumes {
+					fmt.Fprintf(&sb, " %s", r)
+				}
+			}
+			sb.WriteByte('\n')
+			for _, in := range b.Insts {
+				if in.BlockTarget != nil {
+					fmt.Fprintf(&sb, "  la %s, %s\n", in.Rd, label(in.BlockTarget))
+					continue
+				}
+				fmt.Fprintf(&sb, "  %s\n", in.Inst)
+			}
+			var next *prog.Block
+			if bi+1 < len(f.Blocks) {
+				next = f.Blocks[bi+1]
+			}
+			switch b.Kind {
+			case prog.TermFall:
+				if b.Next != next {
+					fmt.Fprintf(&sb, "  jmp %s\n", label(b.Next))
+				}
+			case prog.TermBranch:
+				fmt.Fprintf(&sb, "  %s %s, %s, %s\n", b.CmpOp, b.Rs1, b.Rs2, label(b.Taken))
+				if b.Next != next {
+					fmt.Fprintf(&sb, "  jmp %s\n", label(b.Next))
+				}
+			case prog.TermCall:
+				fmt.Fprintf(&sb, "  call %s\n", b.Callee.Name)
+				if b.Next != next {
+					fmt.Fprintf(&sb, "  jmp %s\n", label(b.Next))
+				}
+			case prog.TermRet:
+				sb.WriteString("  ret\n")
+			case prog.TermHalt:
+				sb.WriteString("  halt\n")
+			case prog.TermJumpReg:
+				fmt.Fprintf(&sb, "  jr %s\n", b.Rs1)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// DisassembleImage renders a linearized code image with one slot per line,
+// for debugging dumps.
+func DisassembleImage(img *prog.Image) string {
+	var sb strings.Builder
+	var prev *prog.Block
+	for addr, in := range img.Code {
+		if b := img.AddrBlock[addr]; b != prev {
+			fmt.Fprintf(&sb, "%s:  ; %s\n", b, b.Fn.Name)
+			prev = b
+		}
+		fmt.Fprintf(&sb, "%6d  %s\n", addr, in)
+	}
+	return sb.String()
+}

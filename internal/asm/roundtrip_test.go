@@ -1,0 +1,53 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Property (DESIGN.md §6): for every workload program — thousands of
+// blocks, every terminator kind, FP code, recursion — disassembling and
+// reassembling produces an identical code image and data segment.
+func TestDisassembleRoundTripAllWorkloads(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			in := b.Inputs[0]
+			in.Scale = 1
+			p := b.Build(in)
+			img1, err := p.Linearize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := Disassemble(p)
+			p2, err := Assemble(text)
+			if err != nil {
+				t.Fatalf("reassembly failed: %v", err)
+			}
+			img2, err := p2.Linearize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(img1.Code) != len(img2.Code) {
+				t.Fatalf("image sizes differ: %d vs %d", len(img1.Code), len(img2.Code))
+			}
+			for i := range img1.Code {
+				if img1.Code[i] != img2.Code[i] {
+					t.Fatalf("slot %d differs: %v vs %v", i, img1.Code[i], img2.Code[i])
+				}
+			}
+			if img1.Entry != img2.Entry {
+				t.Fatal("entry addresses differ")
+			}
+			if len(p.Data) != len(p2.Data) {
+				t.Fatal("data segments differ in length")
+			}
+			for i := range p.Data {
+				if p.Data[i] != p2.Data[i] {
+					t.Fatalf("data[%d] differs", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,342 @@
+// Package core orchestrates the full Vacuum Packing pipeline: it profiles a
+// program under the Hot Spot Detector, filters detections into unique
+// phases, identifies a hot region per phase, extracts and links packages,
+// optimizes them (layout + rescheduling), and hands back both the pristine
+// original and the packed program for evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/hsd"
+	"repro/internal/opt"
+	"repro/internal/pack"
+	"repro/internal/phasedb"
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// Config gathers every pipeline knob. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	Detector hsd.Config
+	Filter   phasedb.Config
+	Region   region.Config
+	Pack     pack.Config
+	Sched    opt.Resources
+
+	// EnableLayout and EnableSchedule control the §5.4 optimization passes
+	// applied to package code. EnableSink additionally applies the
+	// redundancy-elimination pass §5.4 describes as future work: cold
+	// results move off the hot path into side exit blocks. ApproxWeights
+	// swaps the damped iterative weight solver for the single-pass
+	// approximation §5.4 suggests for run-time systems.
+	// EnableMerge fuses single-entry fallthrough chains inside packages
+	// before the other passes, realizing §5.4's increased block scope from
+	// cold-path elimination.
+	EnableLayout   bool
+	EnableSchedule bool
+	EnableMerge    bool
+	EnableSink     bool
+	ApproxWeights  bool
+
+	// HistoryDepth, when positive, interposes the §3.1 hardware history
+	// filter (hot-spot signatures) between the detector and the software
+	// filter, suppressing re-detections of the last HistoryDepth hot
+	// spots at HistorySimilarity Jaccard similarity. The paper's default
+	// pushes all filtering to software (depth 0).
+	HistoryDepth      int
+	HistorySimilarity float64
+
+	// MaxPhases caps how many detected phases are packaged (most heavily
+	// detected first); 0 means all.
+	MaxPhases int
+	// ProfileLimit bounds the profiling run's instruction count
+	// (0 = unlimited).
+	ProfileLimit uint64
+	// EntrySeedWeight seeds weight propagation at package entries.
+	EntrySeedWeight float64
+}
+
+// DefaultConfig returns the paper's configuration: Table 2 detector,
+// §3.1 filter thresholds, §3.2 region parameters, linking on, layout and
+// rescheduling on.
+func DefaultConfig() Config {
+	return Config{
+		Detector:        hsd.DefaultConfig(),
+		Filter:          phasedb.DefaultConfig(),
+		Region:          region.DefaultConfig(),
+		Pack:            pack.DefaultConfig(),
+		Sched:           opt.DefaultResources(),
+		EnableLayout:    true,
+		EnableSchedule:  true,
+		EnableMerge:     true,
+		EntrySeedWeight: 1000,
+	}
+}
+
+// ScaledConfig returns DefaultConfig with the workload-scaled Hot Spot
+// Detector (hsd.ScaledConfig). The evaluation suite uses this
+// configuration; see DESIGN.md for the scaling substitution rationale.
+func ScaledConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Detector = hsd.ScaledConfig()
+	return cfg
+}
+
+// Variant names one of the paper's four evaluation configurations
+// (Figures 8 and 10): {inference off/on} × {linking off/on}.
+type Variant struct {
+	Inference bool
+	Linking   bool
+}
+
+// Variants lists the four bars of Figures 8 and 10 in paper order.
+func Variants() []Variant {
+	return []Variant{
+		{Inference: false, Linking: false},
+		{Inference: false, Linking: true},
+		{Inference: true, Linking: false},
+		{Inference: true, Linking: true},
+	}
+}
+
+// Name renders a variant like the paper's legend.
+func (v Variant) Name() string {
+	s := "no inference"
+	if v.Inference {
+		s = "inference"
+	}
+	if v.Linking {
+		return s + " + linking"
+	}
+	return s + ", no linking"
+}
+
+// Apply returns cfg specialized to the variant.
+func (v Variant) Apply(cfg Config) Config {
+	cfg.Region.EnableInference = v.Inference
+	cfg.Pack.EnableLinking = v.Linking
+	return cfg
+}
+
+// Outcome is the result of running the pipeline on one program.
+type Outcome struct {
+	// Original is a pristine clone of the input program; Packed is the
+	// input program with packages installed.
+	Original *prog.Program
+	Packed   *prog.Program
+
+	DB      *phasedb.DB
+	Regions []*region.Region
+	Pack    *pack.Result
+
+	// ProfileStats summarizes the profiling run.
+	ProfileInsts    uint64
+	ProfileBranches uint64
+	Detections      uint64
+	// SkippedPhases counts phases whose region identification failed
+	// (e.g. all hot-spot PCs were unmappable).
+	SkippedPhases int
+}
+
+// ProfileStats summarizes one profiling run.
+type ProfileStats struct {
+	Insts      uint64
+	Branches   uint64
+	Detections uint64
+	// DataHash/DataStores fingerprint the run's data-segment effects for
+	// functional-equivalence checks against packed runs.
+	DataHash   uint64
+	DataStores uint64
+}
+
+// Profile runs the program to completion under the Hot Spot Detector
+// (§3.1) and returns the filtered phase database. obs, when non-nil,
+// receives every retired instruction — the benchmark harness uses it to
+// collect baseline timing in the same pass.
+func Profile(cfg Config, img *prog.Image, obs func(*cpu.StepInfo)) (*phasedb.DB, ProfileStats, error) {
+	db := phasedb.New(cfg.Filter)
+	record := func(h hsd.HotSpot) { db.Record(h) }
+	if cfg.HistoryDepth > 0 {
+		sim := cfg.HistorySimilarity
+		if sim == 0 {
+			sim = 0.8
+		}
+		record = hsd.NewHistoryFilter(cfg.HistoryDepth, sim).WrapDetector(record)
+	}
+	det := hsd.New(cfg.Detector, record)
+	m := cpu.NewMachine(img)
+	err := m.Run(cfg.ProfileLimit, func(si *cpu.StepInfo) {
+		if si.Inst.Op.IsCondBranch() {
+			det.SetInstCount(m.InstCount)
+			det.Branch(si.PC, si.Taken)
+		}
+		if obs != nil {
+			obs(si)
+		}
+	})
+	st := ProfileStats{
+		Insts:      m.InstCount,
+		Branches:   det.Stats.BranchesSeen,
+		Detections: det.Stats.Detections,
+	}
+	st.DataHash, st.DataStores = m.DataHash()
+	if err != nil {
+		return nil, st, fmt.Errorf("core: profiling run: %w", err)
+	}
+	return db, st, nil
+}
+
+// Run executes the full pipeline on p. p is mutated into the packed
+// program; the returned Outcome carries a pristine clone for baselines.
+func Run(cfg Config, p *prog.Program) (*Outcome, error) {
+	out := &Outcome{Original: p.Clone(), Packed: p}
+
+	img, err := p.Linearize()
+	if err != nil {
+		return nil, fmt.Errorf("core: linearize: %w", err)
+	}
+	db, st, err := Profile(cfg, img, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.DB = db
+	out.ProfileInsts = st.Insts
+	out.ProfileBranches = st.Branches
+	out.Detections = st.Detections
+	if err := Package(cfg, out, p, img, db); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Package applies region identification, package construction and
+// optimization to p (mutating it) from an existing phase database. The
+// database's PCs must have been gathered on an image that linearizes
+// identically to p — a Clone of the profiled program qualifies.
+func Package(cfg Config, out *Outcome, p *prog.Program, img *prog.Image, db *phasedb.DB) error {
+	// Step 2: region identification per unique phase (§3.2).
+	phases := append([]*phasedb.Phase(nil), db.Phases...)
+	sort.SliceStable(phases, func(i, j int) bool {
+		return phases[i].Detections > phases[j].Detections
+	})
+	if cfg.MaxPhases > 0 && len(phases) > cfg.MaxPhases {
+		phases = phases[:cfg.MaxPhases]
+	}
+	regByPhase := make(map[int]*region.Region)
+	for _, ph := range phases {
+		r, err := region.Identify(cfg.Region, img, ph)
+		if err != nil {
+			out.SkippedPhases++
+			continue
+		}
+		out.Regions = append(out.Regions, r)
+		regByPhase[ph.ID] = r
+	}
+	if len(out.Regions) == 0 {
+		return fmt.Errorf("core: no usable phases detected (%d phases, %d skipped)", len(db.Phases), out.SkippedPhases)
+	}
+
+	// Step 3: package construction (§3.3).
+	var pkgs []*pack.Package
+	for _, r := range out.Regions {
+		ps, err := pack.BuildPhase(cfg.Pack, p, r)
+		if err != nil {
+			out.SkippedPhases++
+			continue
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	if len(pkgs) == 0 {
+		return fmt.Errorf("core: no packages constructed")
+	}
+	res, err := pack.Install(cfg.Pack, p, pkgs)
+	if err != nil {
+		return err
+	}
+	out.Pack = res
+
+	// Optimization (§5.4): weight calculation, relayout, rescheduling.
+	for _, pk := range res.Packages {
+		r := regByPhase[pk.PhaseID]
+		if r == nil {
+			continue
+		}
+		prob := opt.ProbFromRegion(r)
+		if cfg.EnableMerge {
+			opt.MergeBlocks(p, pk.Fn)
+		}
+		if cfg.EnableSink {
+			opt.SinkColdCode(pk.Fn)
+		}
+		if cfg.EnableLayout {
+			seed := make(map[*prog.Block]float64)
+			for _, c := range pk.Entries {
+				seed[c] = cfg.EntrySeedWeight
+			}
+			if e := pk.Fn.Entry(); e != nil && len(seed) == 0 {
+				seed[e] = cfg.EntrySeedWeight
+			}
+			w := opt.WeightsFor(cfg.ApproxWeights, pk.Fn, prob, seed)
+			opt.Layout(pk.Fn, w, prob)
+		}
+		if cfg.EnableSchedule {
+			opt.Schedule(pk.Fn, cfg.Sched)
+		}
+	}
+
+	if err := p.Verify(); err != nil {
+		return fmt.Errorf("core: packed program invalid: %w", err)
+	}
+	return nil
+}
+
+// Evaluation is a timed comparison of the original and packed programs.
+type Evaluation struct {
+	Base   cpu.TimingStats
+	Packed cpu.TimingStats
+	// Coverage is the fraction of the packed run's dynamic instructions
+	// retired from package code (Figure 8's metric).
+	Coverage float64
+	// Speedup is base cycles / packed cycles (Figure 10's metric).
+	Speedup float64
+	// Equivalent reports whether both runs produced identical
+	// data-segment effects.
+	Equivalent bool
+}
+
+// Evaluate times both programs to completion under the machine model and
+// checks functional equivalence. limit bounds each run (0 = unlimited).
+func (o *Outcome) Evaluate(mc cpu.Config, limit uint64) (*Evaluation, error) {
+	baseImg, err := o.Original.Linearize()
+	if err != nil {
+		return nil, fmt.Errorf("core: linearize original: %w", err)
+	}
+	packedImg, err := o.Packed.Linearize()
+	if err != nil {
+		return nil, fmt.Errorf("core: linearize packed: %w", err)
+	}
+	baseStats, baseM, err := cpu.RunTimed(mc, baseImg, limit)
+	if err != nil {
+		return nil, fmt.Errorf("core: base run: %w", err)
+	}
+	packedStats, packedM, err := cpu.RunTimed(mc, packedImg, limit)
+	if err != nil {
+		return nil, fmt.Errorf("core: packed run: %w", err)
+	}
+	bh, bn := baseM.DataHash()
+	ph, pn := packedM.DataHash()
+	ev := &Evaluation{
+		Base:       baseStats,
+		Packed:     packedStats,
+		Coverage:   packedStats.PackageCoverage(),
+		Equivalent: bh == ph && bn == pn,
+	}
+	if packedStats.Cycles > 0 {
+		ev.Speedup = float64(baseStats.Cycles) / float64(packedStats.Cycles)
+	}
+	return ev, nil
+}

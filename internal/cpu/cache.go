@@ -1,0 +1,85 @@
+package cpu
+
+// Cache is a set-associative cache model with true-LRU replacement. It
+// tracks hits and misses only — the timing model converts misses into
+// latency. Addresses are byte addresses.
+type Cache struct {
+	name     string
+	lineBits uint
+	sets     int
+	ways     int
+
+	tags []int64  // sets*ways entries, -1 = invalid
+	lru  []uint32 // per-entry LRU stamps
+	tick uint32
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache of the given total size with 64-byte lines.
+// sizeBytes must be a multiple of ways*64.
+func NewCache(name string, sizeBytes, ways int) *Cache {
+	const lineBytes = 64
+	sets := sizeBytes / (lineBytes * ways)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{
+		name:     name,
+		lineBits: 6,
+		sets:     sets,
+		ways:     ways,
+		tags:     make([]int64, sets*ways),
+		lru:      make([]uint32, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Access looks up addr, inserting the line on a miss. It reports a hit.
+func (c *Cache) Access(addr int64) bool {
+	c.Accesses++
+	c.tick++
+	line := addr >> c.lineBits
+	set := int(line % int64(c.sets))
+	base := set * c.ways
+	victim := base
+	oldest := c.lru[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.lru[i] = c.tick
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.tick
+	return false
+}
+
+// MissRate returns misses/accesses, or 0 if the cache was never accessed.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.lru[i] = 0
+	}
+	c.tick = 0
+	c.Accesses = 0
+	c.Misses = 0
+}

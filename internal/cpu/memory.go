@@ -1,0 +1,74 @@
+package cpu
+
+import "fmt"
+
+// Memory is a sparse, paged, word-granular memory. Addresses are byte
+// addresses but all accesses are 8-byte aligned words, matching the VPIR
+// load/store instructions.
+type Memory struct {
+	pages map[int64][]int64
+}
+
+// pageWords is the number of 64-bit words per page (64 KB pages).
+const pageWords = 8192
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[int64][]int64)}
+}
+
+func splitAddr(addr int64) (page int64, idx int64, err error) {
+	if addr&7 != 0 {
+		return 0, 0, fmt.Errorf("cpu: unaligned access at %#x", addr)
+	}
+	if addr < 0 {
+		return 0, 0, fmt.Errorf("cpu: negative address %#x", addr)
+	}
+	w := addr >> 3
+	return w / pageWords, w % pageWords, nil
+}
+
+// Load reads the word at addr.
+func (m *Memory) Load(addr int64) (int64, error) {
+	page, idx, err := splitAddr(addr)
+	if err != nil {
+		return 0, err
+	}
+	p, ok := m.pages[page]
+	if !ok {
+		return 0, nil
+	}
+	return p[idx], nil
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr, val int64) error {
+	page, idx, err := splitAddr(addr)
+	if err != nil {
+		return err
+	}
+	p, ok := m.pages[page]
+	if !ok {
+		p = make([]int64, pageWords)
+		m.pages[page] = p
+	}
+	p[idx] = val
+	return nil
+}
+
+// Snapshot copies the contents of the byte range [start, start+words*8) as
+// words. Unwritten locations read as zero.
+func (m *Memory) Snapshot(start int64, words int) ([]int64, error) {
+	out := make([]int64, words)
+	for i := range out {
+		v, err := m.Load(start + int64(i)*8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// PagesTouched reports how many pages have been materialized.
+func (m *Memory) PagesTouched() int { return len(m.pages) }

@@ -1,0 +1,348 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Config holds the machine-model parameters. DefaultConfig mirrors Table 2
+// of the paper.
+type Config struct {
+	IssueWidth  int
+	IntALUs     int
+	FPUnits     int
+	MemUnits    int
+	BranchUnits int
+
+	L1DSizeBytes int
+	L1ISizeBytes int
+	L2SizeBytes  int
+	CacheWays    int
+
+	L2Latency  int // extra cycles on an L1 miss that hits L2
+	MemLatency int // extra cycles on an L2 miss
+
+	BranchResolution int // pipeline depth from fetch to branch resolve
+	GshareBits       uint
+	BTBEntries       int
+	RASEntries       int
+
+	// FetchLineSlots is how many instruction slots share an I-cache line
+	// (64-byte lines of 8-byte slots).
+	FetchLineSlots int
+}
+
+// DefaultConfig returns the paper's Table 2 machine model.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:  8,
+		IntALUs:     5,
+		FPUnits:     3,
+		MemUnits:    3,
+		BranchUnits: 3,
+
+		L1DSizeBytes: 64 << 10,
+		L1ISizeBytes: 512 << 10,
+		L2SizeBytes:  64 << 10,
+		CacheWays:    4,
+
+		L2Latency:  10,
+		MemLatency: 80,
+
+		BranchResolution: 7,
+		GshareBits:       10,
+		BTBEntries:       1024,
+		RASEntries:       32,
+
+		FetchLineSlots: 8,
+	}
+}
+
+// TimingStats aggregates one timed run.
+type TimingStats struct {
+	Cycles       uint64
+	Insts        uint64
+	PackageInsts uint64 // instructions retired from package code
+
+	CondBranches   uint64
+	CondMispredict uint64
+	BTBMisses      uint64
+	RASMisses      uint64
+
+	L1IAccesses, L1IMisses uint64
+	L1DAccesses, L1DMisses uint64
+	L2Accesses, L2Misses   uint64
+
+	FetchBreaks uint64 // taken transfers that ended a fetch packet
+	RAWStalls   uint64 // cycles lost waiting on operands (approximate)
+}
+
+// IPC returns retired instructions per cycle.
+func (s TimingStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// PackageCoverage returns the fraction of dynamic instructions retired
+// from package code.
+func (s TimingStats) PackageCoverage() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return float64(s.PackageInsts) / float64(s.Insts)
+}
+
+// Timing is the cycle-level model. It consumes the functional machine's
+// retirement stream in program order and accounts:
+//
+//   - in-order issue of at most IssueWidth instructions per cycle, limited
+//     by per-class functional units,
+//   - register scoreboarding (an instruction cannot issue before its
+//     operands' producing latencies have elapsed),
+//   - fetch-packet breaks at taken control transfers, I-cache misses at
+//     line boundaries, and
+//   - branch resolution: a mispredicted conditional branch, a BTB-missing
+//     taken transfer or a RAS-missing return redirects fetch
+//     BranchResolution cycles after the transfer issued.
+//
+// The model is a faithful accounting abstraction of the paper's ten-stage
+// EPIC pipeline rather than a structural register-transfer simulation; it
+// rewards exactly the behaviors the paper's optimizations target: packed
+// issue slots, fall-through layout and phase-local instruction footprints.
+type Timing struct {
+	cfg  Config
+	pred *Predictor
+	l1i  *Cache
+	l1d  *Cache
+	l2   *Cache
+
+	cycle     uint64
+	slotsUsed int
+	fuUsed    [5]int
+	fuLimit   [5]int
+
+	regReady   [isa.NumRegs]uint64
+	fetchReady uint64 // earliest cycle the next instruction can issue
+	lastLine   int64
+
+	inPkg []bool
+
+	Stats TimingStats
+}
+
+// NewTiming builds a timing model for an image. Instructions belonging to
+// package functions are identified up front for coverage accounting.
+func NewTiming(cfg Config, img *prog.Image) *Timing {
+	t := &Timing{
+		cfg:      cfg,
+		pred:     NewPredictor(cfg.GshareBits, cfg.BTBEntries, cfg.RASEntries),
+		l1i:      NewCache("L1I", cfg.L1ISizeBytes, cfg.CacheWays),
+		l1d:      NewCache("L1D", cfg.L1DSizeBytes, cfg.CacheWays),
+		l2:       NewCache("L2", cfg.L2SizeBytes, cfg.CacheWays),
+		lastLine: -1,
+		inPkg:    make([]bool, len(img.Code)),
+	}
+	t.fuLimit[isa.FUNone] = cfg.IssueWidth
+	t.fuLimit[isa.FUIALU] = cfg.IntALUs
+	t.fuLimit[isa.FUFP] = cfg.FPUnits
+	t.fuLimit[isa.FUMem] = cfg.MemUnits
+	t.fuLimit[isa.FUBranch] = cfg.BranchUnits
+	for addr, b := range img.AddrBlock {
+		if b != nil && b.Fn.IsPackage {
+			t.inPkg[addr] = true
+		}
+	}
+	return t
+}
+
+// nextCycle advances to a fresh issue cycle.
+func (t *Timing) nextCycle() {
+	t.cycle++
+	t.slotsUsed = 0
+	for i := range t.fuUsed {
+		t.fuUsed[i] = 0
+	}
+}
+
+// advanceTo jumps the issue clock to cycle c (> current).
+func (t *Timing) advanceTo(c uint64) {
+	t.cycle = c
+	t.slotsUsed = 0
+	for i := range t.fuUsed {
+		t.fuUsed[i] = 0
+	}
+}
+
+// dLatency models a data access through the cache hierarchy and returns
+// the total load-use latency.
+func (t *Timing) dLatency(addr int64) int {
+	lat := isa.LD.Latency()
+	if t.l1d.Access(addr) {
+		return lat
+	}
+	lat += t.cfg.L2Latency
+	if t.l2.Access(addr) {
+		return lat
+	}
+	return lat + t.cfg.MemLatency
+}
+
+// iFetch charges I-cache time when the fetch stream crosses into a new
+// line and returns extra cycles to delay fetch.
+func (t *Timing) iFetch(pc int64) int {
+	line := (pc * 8) >> 6
+	if line == t.lastLine {
+		return 0
+	}
+	t.lastLine = line
+	if t.l1i.Access(pc * 8) {
+		return 0
+	}
+	extra := t.cfg.L2Latency
+	if !t.l2.Access(pc * 8) {
+		extra += t.cfg.MemLatency
+	}
+	return extra
+}
+
+// Observe accounts one retired instruction. Call it in retirement order.
+func (t *Timing) Observe(info *StepInfo) {
+	in := info.Inst
+	op := in.Op
+
+	// Fetch: line-crossing I-cache charge.
+	if extra := t.iFetch(info.PC); extra > 0 {
+		c := t.cycle + uint64(extra)
+		if t.fetchReady < c {
+			t.fetchReady = c
+		}
+	}
+
+	// Earliest issue cycle: fetch availability and operand readiness.
+	earliest := t.cycle
+	if t.fetchReady > earliest {
+		earliest = t.fetchReady
+	}
+	var opndReady uint64
+	if op.HasRs1() && in.Rs1 != isa.R0 && t.regReady[in.Rs1] > opndReady {
+		opndReady = t.regReady[in.Rs1]
+	}
+	if op.HasRs2() && in.Rs2 != isa.R0 && t.regReady[in.Rs2] > opndReady {
+		opndReady = t.regReady[in.Rs2]
+	}
+	if op == isa.RET && t.regReady[isa.RRA] > opndReady {
+		opndReady = t.regReady[isa.RRA]
+	}
+	if opndReady > earliest {
+		t.Stats.RAWStalls += opndReady - earliest
+		earliest = opndReady
+	}
+	if earliest > t.cycle {
+		t.advanceTo(earliest)
+	}
+	// Resource constraints: issue width and FU availability.
+	fu := op.FU()
+	for t.slotsUsed >= t.cfg.IssueWidth || (fu != isa.FUNone && t.fuUsed[fu] >= t.fuLimit[fu]) {
+		t.nextCycle()
+	}
+	t.slotsUsed++
+	if fu != isa.FUNone {
+		t.fuUsed[fu]++
+	}
+	issueCycle := t.cycle
+
+	// Result latency.
+	lat := op.Latency()
+	if op == isa.LD || op == isa.FLD {
+		lat = t.dLatency(info.MemAddr)
+	} else if op == isa.ST || op == isa.FST {
+		t.dLatency(info.MemAddr) // stores touch the cache; latency hidden
+		lat = 1
+	}
+	if d, ok := in.Defs(); ok {
+		ready := issueCycle + uint64(lat)
+		if t.regReady[d] < ready {
+			t.regReady[d] = ready
+		}
+	}
+
+	// Control flow and prediction.
+	if op.IsControl() && op != isa.HALT {
+		redirect := false
+		switch {
+		case op.IsCondBranch():
+			t.Stats.CondBranches++
+			if !t.pred.PredictCond(info.PC, info.Taken) {
+				redirect = true
+			} else if info.Taken && !t.pred.LookupBTB(info.PC, info.NextPC) {
+				redirect = true
+			}
+		case op == isa.JMP:
+			if !t.pred.LookupBTB(info.PC, info.NextPC) {
+				redirect = true
+			}
+		case op == isa.CALL:
+			t.pred.PushRAS(info.PC + 1)
+			if !t.pred.LookupBTB(info.PC, info.NextPC) {
+				redirect = true
+			}
+		case op == isa.RET:
+			if !t.pred.PopRAS(info.NextPC) {
+				redirect = true
+			}
+		case op == isa.JR:
+			// Indirect jumps predict through the BTB: the paper's dynamic
+			// launch-point alternative pays a redirect when the target
+			// changes (i.e. at phase transitions).
+			if !t.pred.LookupBTB(info.PC, info.NextPC) {
+				redirect = true
+			}
+		}
+		if redirect {
+			// Fetch restarts after the branch resolves.
+			c := issueCycle + uint64(t.cfg.BranchResolution)
+			if t.fetchReady < c {
+				t.fetchReady = c
+			}
+		} else if info.Taken {
+			// Correctly predicted taken transfer still ends the fetch
+			// packet: following instructions issue next cycle at best.
+			t.Stats.FetchBreaks++
+			if t.fetchReady < issueCycle+1 {
+				t.fetchReady = issueCycle + 1
+			}
+		}
+	}
+
+	t.Stats.Insts++
+	if t.inPkg[info.PC] {
+		t.Stats.PackageInsts++
+	}
+}
+
+// Finish freezes and returns the statistics.
+func (t *Timing) Finish() TimingStats {
+	s := t.Stats
+	s.Cycles = t.cycle + 1
+	s.CondMispredict = t.pred.CondMispredict
+	s.BTBMisses = t.pred.BTBMisses
+	s.RASMisses = t.pred.RASMisses
+	s.L1IAccesses, s.L1IMisses = t.l1i.Accesses, t.l1i.Misses
+	s.L1DAccesses, s.L1DMisses = t.l1d.Accesses, t.l1d.Misses
+	s.L2Accesses, s.L2Misses = t.l2.Accesses, t.l2.Misses
+	return s
+}
+
+// RunTimed runs the program to completion on a fresh machine under this
+// timing model and returns the statistics. limit bounds retired
+// instructions (0 = unlimited).
+func RunTimed(cfg Config, img *prog.Image, limit uint64) (TimingStats, *Machine, error) {
+	m := NewMachine(img)
+	t := NewTiming(cfg, img)
+	if err := m.Run(limit, t.Observe); err != nil {
+		return TimingStats{}, m, err
+	}
+	return t.Finish(), m, nil
+}

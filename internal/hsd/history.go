@@ -1,0 +1,142 @@
+package hsd
+
+// This file implements the detection-time filtering enhancements §3.1
+// sketches: "Enhancements to the BBB provide a history of one hot spot and
+// record a phase only when it is different than the previous phase. This
+// history could be extended to more than one ... Working set signatures
+// could be extended to hot spot signatures to allow inexpensive
+// comparisons between a detected hot spot and a history of previously
+// recorded hot spots."
+//
+// A hot-spot signature is a small bitvector over hashed branch PCs (after
+// Dhodapkar & Smith's working-set signatures). The HistoryFilter keeps the
+// signatures of the last N recorded hot spots and suppresses a new
+// detection whose signature is sufficiently similar to one of them,
+// reducing the volume of data the hardware must hand to software. It is a
+// hardware-plausible pre-filter: the software similarity rules of
+// phasedb remain the authority on phase identity.
+//
+// Known limitation, kept deliberately: phases that differ only in branch
+// bias (not branch membership) are distinguished through a single
+// quantized bias bit per branch. A detection window that straddles the
+// phase boundary averages the two phases' biases, and its bits can land on
+// the new phase's side — the filter then treats the following clean
+// windows as re-detections and forwards only the straddling one. Real
+// hardware signatures have the same blind spot; deployments that care
+// about bias-only phases should keep the history shallow or leave the
+// filtering to software (depth 0, the paper's configuration).
+
+// Signature is a compact hot-spot fingerprint.
+type Signature uint64
+
+// signatureBits is the signature width; 64 bits suffices for the hot-spot
+// sizes the BBB can hold.
+const signatureBits = 64
+
+// SignatureOf hashes a hot spot's branches into a signature. Each branch
+// contributes its PC *and* its bias direction bit, so two phases over the
+// same static branches with flipped biases — the paper's second similarity
+// criterion — produce different signatures and are not suppressed.
+func SignatureOf(hs HotSpot) Signature {
+	var sig Signature
+	for _, b := range hs.Branches {
+		bias := uint64(0)
+		if 2*b.Taken >= b.Exec {
+			bias = 1
+		}
+		h := (uint64(b.PC)<<1 | bias) * 0x9e3779b97f4a7c15
+		sig |= 1 << (h >> 58) // top 6 bits select one of 64 positions
+	}
+	return sig
+}
+
+// Jaccard estimates the similarity of two signatures as the ratio of
+// shared to total set bits.
+func (s Signature) Jaccard(t Signature) float64 {
+	inter := popcount(uint64(s & t))
+	union := popcount(uint64(s | t))
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// HistoryFilter suppresses re-detections of recently recorded hot spots.
+type HistoryFilter struct {
+	// Depth is how many recent signatures are remembered (the paper's
+	// "history could be extended to more than one").
+	depth int
+	// threshold is the Jaccard similarity above which a detection is
+	// considered a re-detection and suppressed.
+	threshold float64
+
+	ring []Signature
+	next int
+	full bool
+
+	// Suppressed counts detections the filter swallowed; Passed counts
+	// detections forwarded to software.
+	Suppressed uint64
+	Passed     uint64
+}
+
+// NewHistoryFilter builds a filter of the given depth and similarity
+// threshold (e.g. 0.8). Depth 0 disables filtering.
+func NewHistoryFilter(depth int, threshold float64) *HistoryFilter {
+	if depth < 0 {
+		depth = 0
+	}
+	return &HistoryFilter{
+		depth:     depth,
+		threshold: threshold,
+		ring:      make([]Signature, depth),
+	}
+}
+
+// Admit decides whether a detection should be recorded. Admitted hot spots
+// enter the history; suppressed ones do not (so an alternation between two
+// phases with a depth-2 history stays quiet until a third appears).
+func (f *HistoryFilter) Admit(hs HotSpot) bool {
+	if f.depth == 0 {
+		f.Passed++
+		return true
+	}
+	sig := SignatureOf(hs)
+	n := f.depth
+	if !f.full {
+		n = f.next
+	}
+	for i := 0; i < n; i++ {
+		if f.ring[i].Jaccard(sig) >= f.threshold {
+			f.Suppressed++
+			return false
+		}
+	}
+	f.ring[f.next] = sig
+	f.next++
+	if f.next == f.depth {
+		f.next = 0
+		f.full = true
+	}
+	f.Passed++
+	return true
+}
+
+// WrapDetector interposes the filter between a detector and its consumer:
+// only admitted hot spots reach onDetect.
+func (f *HistoryFilter) WrapDetector(onDetect func(HotSpot)) func(HotSpot) {
+	return func(hs HotSpot) {
+		if f.Admit(hs) && onDetect != nil {
+			onDetect(hs)
+		}
+	}
+}

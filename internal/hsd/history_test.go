@@ -1,0 +1,130 @@
+package hsd
+
+import "testing"
+
+func spotOf(pcs ...int64) HotSpot {
+	hs := HotSpot{}
+	for _, pc := range pcs {
+		hs.Branches = append(hs.Branches, BranchRecord{PC: pc, Exec: 100, Taken: 50})
+	}
+	return hs
+}
+
+func TestSignatureProperties(t *testing.T) {
+	a := spotOf(8, 16, 24, 32)
+	b := spotOf(8, 16, 24, 32)
+	c := spotOf(1000, 2000, 3000, 4000)
+	if SignatureOf(a) != SignatureOf(b) {
+		t.Error("identical hot spots should have identical signatures")
+	}
+	if SignatureOf(a) == SignatureOf(c) {
+		t.Error("disjoint hot spots should (almost surely) differ")
+	}
+	if got := SignatureOf(a).Jaccard(SignatureOf(b)); got != 1 {
+		t.Errorf("self similarity = %v, want 1", got)
+	}
+	if got := Signature(0).Jaccard(0); got != 1 {
+		t.Errorf("empty/empty similarity = %v, want 1", got)
+	}
+	if got := SignatureOf(a).Jaccard(SignatureOf(c)); got > 0.5 {
+		t.Errorf("disjoint similarity = %v, suspiciously high", got)
+	}
+}
+
+func TestHistoryFilterSuppressesRepeats(t *testing.T) {
+	f := NewHistoryFilter(1, 0.9)
+	a := spotOf(8, 16, 24)
+	if !f.Admit(a) {
+		t.Fatal("first detection must pass")
+	}
+	if f.Admit(a) {
+		t.Fatal("immediate re-detection must be suppressed")
+	}
+	if f.Suppressed != 1 || f.Passed != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", f.Suppressed, f.Passed)
+	}
+}
+
+func TestHistoryFilterDepth(t *testing.T) {
+	// Alternating phases A,B: depth 1 re-admits on every switch; depth 2
+	// stays quiet after both are known.
+	a := spotOf(8, 16, 24)
+	b := spotOf(4096, 8192, 12288)
+
+	f1 := NewHistoryFilter(1, 0.9)
+	admits1 := 0
+	for i := 0; i < 10; i++ {
+		hs := a
+		if i%2 == 1 {
+			hs = b
+		}
+		if f1.Admit(hs) {
+			admits1++
+		}
+	}
+	if admits1 != 10 {
+		t.Errorf("depth-1 alternation admits = %d, want 10 (history of one thrashes)", admits1)
+	}
+
+	f2 := NewHistoryFilter(2, 0.9)
+	admits2 := 0
+	for i := 0; i < 10; i++ {
+		hs := a
+		if i%2 == 1 {
+			hs = b
+		}
+		if f2.Admit(hs) {
+			admits2++
+		}
+	}
+	if admits2 != 2 {
+		t.Errorf("depth-2 alternation admits = %d, want 2", admits2)
+	}
+}
+
+func TestHistoryFilterDisabled(t *testing.T) {
+	f := NewHistoryFilter(0, 0.9)
+	a := spotOf(8)
+	for i := 0; i < 5; i++ {
+		if !f.Admit(a) {
+			t.Fatal("depth 0 must admit everything")
+		}
+	}
+	if f.Passed != 5 || f.Suppressed != 0 {
+		t.Error("depth-0 stats wrong")
+	}
+}
+
+func TestWrapDetector(t *testing.T) {
+	f := NewHistoryFilter(1, 0.9)
+	var got []HotSpot
+	sink := f.WrapDetector(func(h HotSpot) { got = append(got, h) })
+	a := spotOf(8, 16)
+	sink(a)
+	sink(a)
+	sink(spotOf(4096, 8192))
+	if len(got) != 2 {
+		t.Errorf("forwarded %d hot spots, want 2", len(got))
+	}
+}
+
+// Integration: a real detector behind the filter records far fewer hot
+// spots on a stable phase without losing the phase itself.
+func TestHistoryFilterWithDetector(t *testing.T) {
+	var raw, filtered int
+	dRaw := New(smallConfig(), func(HotSpot) { raw++ })
+	f := NewHistoryFilter(2, 0.8)
+	dFil := New(smallConfig(), f.WrapDetector(func(HotSpot) { filtered++ }))
+	for i := 0; i < 20000; i++ {
+		dRaw.Branch(100, true)
+		dRaw.Branch(104, i%4 == 0)
+		dFil.Branch(100, true)
+		dFil.Branch(104, i%4 == 0)
+	}
+	if raw < 4 {
+		t.Fatalf("raw detections = %d, too few to test filtering", raw)
+	}
+	if filtered != 1 {
+		t.Errorf("filtered detections = %d, want 1 for a single stable phase", filtered)
+	}
+}

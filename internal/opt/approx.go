@@ -1,0 +1,61 @@
+package opt
+
+import (
+	"repro/internal/prog"
+)
+
+// ApproxWeights is the cheap single-pass estimator §5.4 alludes to: "For
+// run-time systems, such a calculation may be too computationally
+// expensive and a simpler approximate-weight propagation method may
+// suffice." It walks the blocks once in layout order, splitting each
+// block's weight across its successors by branch probability, and
+// approximates loop amplification with a fixed multiplier on back-edge
+// targets instead of iterating to convergence.
+func ApproxWeights(fn *prog.Func, prob BranchProb, seed map[*prog.Block]float64) map[*prog.Block]float64 {
+	const loopFactor = 8.0
+	back := prog.BackEdges(fn)
+	isLoopHead := make(map[*prog.Block]bool)
+	for e := range back {
+		isLoopHead[e.To] = true
+	}
+	w := make(map[*prog.Block]float64, len(fn.Blocks))
+	for b, s := range seed {
+		w[b] += s
+	}
+	for _, b := range fn.Blocks {
+		f := w[b]
+		if f == 0 {
+			continue
+		}
+		if isLoopHead[b] {
+			f *= loopFactor
+			w[b] = f
+		}
+		push := func(dst *prog.Block, x float64) {
+			// Only forward flow: back edges are folded into loopFactor.
+			if dst == nil || dst.Fn != fn || back[prog.Edge{From: b, To: dst}] {
+				return
+			}
+			w[dst] += x
+		}
+		switch b.Kind {
+		case prog.TermFall, prog.TermCall:
+			push(b.Next, f)
+		case prog.TermBranch:
+			p := prob(b)
+			push(b.Taken, f*p)
+			push(b.Next, f*(1-p))
+		}
+	}
+	return w
+}
+
+// WeightsFor selects the §5.4 weight calculation: the damped iterative
+// solver (the paper's offline choice) or the single-pass approximation
+// (its suggested run-time fallback).
+func WeightsFor(approx bool, fn *prog.Func, prob BranchProb, seed map[*prog.Block]float64) map[*prog.Block]float64 {
+	if approx {
+		return ApproxWeights(fn, prob, seed)
+	}
+	return Weights(fn, prob, seed)
+}

@@ -1,0 +1,150 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// Layout reorders fn's blocks so the hottest arcs become fallthroughs,
+// using bottom-up chain formation (Pettis–Hansen style). The entry block
+// always stays first: packages are entered at Blocks[0] by calls and the
+// linearizer takes the function entry from there.
+func Layout(fn *prog.Func, w map[*prog.Block]float64, prob BranchProb) {
+	if len(fn.Blocks) <= 2 {
+		return
+	}
+	entry := fn.Blocks[0]
+
+	// Chains: doubly indexed by head and tail.
+	next := make(map[*prog.Block]*prog.Block) // within-chain successor
+	head := make(map[*prog.Block]*prog.Block) // block -> chain head
+	tail := make(map[*prog.Block]*prog.Block) // chain head -> chain tail
+	for _, b := range fn.Blocks {
+		head[b] = b
+		tail[b] = b
+	}
+
+	type arc struct {
+		k region.ArcKey
+		w float64
+	}
+	aw := ArcWeights(fn, w, prob)
+	arcs := make([]arc, 0, len(aw))
+	for k, x := range aw {
+		arcs = append(arcs, arc{k, x})
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].w != arcs[j].w {
+			return arcs[i].w > arcs[j].w
+		}
+		// Deterministic tie-break.
+		if arcs[i].k.From.ID != arcs[j].k.From.ID {
+			return arcs[i].k.From.ID < arcs[j].k.From.ID
+		}
+		return arcs[i].k.Taken && !arcs[j].k.Taken
+	})
+
+	for _, a := range arcs {
+		from, to := a.k.From, a.k.Dest()
+		if to == nil || to.Fn != fn {
+			continue
+		}
+		// Merge only a chain tail into another chain's head, and never
+		// place anything before the entry block.
+		if tail[head[from]] != from || head[to] != to || to == entry {
+			continue
+		}
+		if head[from] == to {
+			continue // would close a cycle
+		}
+		next[from] = to
+		h := head[from]
+		t := tail[to]
+		for b := to; b != nil; b = next[b] {
+			head[b] = h
+		}
+		tail[h] = t
+	}
+
+	// Order chains: entry's chain first, the rest by max block weight.
+	var chainHeads []*prog.Block
+	seen := make(map[*prog.Block]bool)
+	for _, b := range fn.Blocks {
+		h := head[b]
+		if !seen[h] {
+			seen[h] = true
+			chainHeads = append(chainHeads, h)
+		}
+	}
+	chainWeight := make(map[*prog.Block]float64)
+	for _, b := range fn.Blocks {
+		if w[b] > chainWeight[head[b]] {
+			chainWeight[head[b]] = w[b]
+		}
+	}
+	sort.SliceStable(chainHeads, func(i, j int) bool {
+		hi, hj := chainHeads[i], chainHeads[j]
+		if (hi == head[entry]) != (hj == head[entry]) {
+			return hi == head[entry]
+		}
+		if chainWeight[hi] != chainWeight[hj] {
+			return chainWeight[hi] > chainWeight[hj]
+		}
+		return hi.ID < hj.ID
+	})
+
+	out := make([]*prog.Block, 0, len(fn.Blocks))
+	for _, h := range chainHeads {
+		for b := h; b != nil; b = next[b] {
+			out = append(out, b)
+		}
+	}
+	if len(out) != len(fn.Blocks) || out[0] != entry {
+		// Defensive: never corrupt the function if chain bookkeeping went
+		// wrong; keep the original layout instead.
+		return
+	}
+	fn.Blocks = out
+	invertBranchesForLayout(fn)
+}
+
+// invertBranchesForLayout flips branch conditions whose taken target became
+// the physically-next block, turning hot taken arcs into fallthroughs so
+// the linearizer emits no layout jump and the fetch unit sees straight-line
+// code.
+func invertBranchesForLayout(fn *prog.Func) {
+	for i, b := range fn.Blocks {
+		if b.Kind != prog.TermBranch || i+1 >= len(fn.Blocks) {
+			continue
+		}
+		next := fn.Blocks[i+1]
+		if b.Taken != next || b.Next == next {
+			continue
+		}
+		inv, ok := invertCmp(b.CmpOp)
+		if !ok {
+			continue
+		}
+		b.CmpOp = inv
+		b.Taken, b.Next = b.Next, b.Taken
+	}
+}
+
+// invertCmp returns the opcode computing the negated condition with the
+// same operands.
+func invertCmp(op isa.Opcode) (isa.Opcode, bool) {
+	switch op {
+	case isa.BEQ:
+		return isa.BNE, true
+	case isa.BNE:
+		return isa.BEQ, true
+	case isa.BLT:
+		return isa.BGE, true
+	case isa.BGE:
+		return isa.BLT, true
+	}
+	return op, false
+}

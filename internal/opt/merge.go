@@ -1,0 +1,69 @@
+package opt
+
+import (
+	"repro/internal/prog"
+)
+
+// MergeBlocks fuses single-entry fallthrough chains inside a package
+// function. Pruning cold paths removes merge points' other predecessors
+// (§5.4: "the elimination of cold paths may increase block scope by
+// eliminating side entrances"), so what used to be a diamond join with two
+// predecessors is often left with one — merging it into that predecessor
+// hands the list scheduler a larger window.
+//
+// A successor is merged only when it is reachable from exactly one place:
+// a single program-wide predecessor, no LA instruction materializing its
+// address, not a function entry (call/launch target). MergeBlocks returns
+// the number of blocks fused.
+func MergeBlocks(p *prog.Program, fn *prog.Func) int {
+	p.ComputePreds()
+	// Blocks whose address escapes through LA must stay addressable.
+	laTargets := make(map[*prog.Block]bool)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if in.BlockTarget != nil {
+					laTargets[in.BlockTarget] = true
+				}
+			}
+		}
+	}
+	merged := 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range fn.Blocks {
+			if b.Kind != prog.TermFall {
+				continue
+			}
+			c := b.Next
+			if c == nil || c.Fn != fn || c == b || c == fn.Entry() {
+				continue
+			}
+			if laTargets[c] || len(c.Preds()) != 1 {
+				continue
+			}
+			// Fuse c into b.
+			b.Insts = append(b.Insts, c.Insts...)
+			b.Kind = c.Kind
+			b.CmpOp = c.CmpOp
+			b.Rs1, b.Rs2 = c.Rs1, c.Rs2
+			b.Taken, b.Next, b.Callee = c.Taken, c.Next, c.Callee
+			if len(c.ExitConsumes) > 0 && len(b.ExitConsumes) == 0 {
+				b.ExitConsumes = c.ExitConsumes
+			}
+			// Remove c from the layout.
+			for i, blk := range fn.Blocks {
+				if blk == c {
+					fn.Blocks = append(fn.Blocks[:i], fn.Blocks[i+1:]...)
+					break
+				}
+			}
+			merged++
+			changed = true
+			p.ComputePreds()
+			break // layout changed under us; restart the scan
+		}
+	}
+	return merged
+}

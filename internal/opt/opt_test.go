@@ -1,0 +1,490 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func mustProg(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const diamondLoopSrc = `
+.func main
+.main
+  li r1, 0
+  li r2, 50
+loop:
+  beq r1, r2, done
+  blt r1, r2, hotside
+coldside:
+  addi r3, r3, 2
+  jmp join
+hotside:
+  addi r3, r3, 1
+join:
+  addi r1, r1, 1
+  jmp loop
+done:
+  halt
+`
+
+func constProb(p float64) BranchProb {
+	return func(*prog.Block) float64 { return p }
+}
+
+func TestWeightsFollowProbabilities(t *testing.T) {
+	p := mustProg(t, diamondLoopSrc)
+	fn := p.Main
+	// Block roles by shape.
+	var hot, cold *prog.Block
+	for _, b := range fn.Blocks {
+		if b.Kind == prog.TermFall && len(b.Insts) == 1 && b.Insts[0].Op == isa.ADDI {
+			switch b.Insts[0].Imm {
+			case 2:
+				cold = b
+			case 1:
+				hot = b
+			}
+		}
+	}
+	if hot == nil || cold == nil {
+		t.Fatal("fixture blocks not found")
+	}
+	// blt taken (hotside) with probability 0.9.
+	prob := func(b *prog.Block) float64 {
+		if b.CmpOp == isa.BLT {
+			return 0.9
+		}
+		return 0.02 // beq exit rarely taken
+	}
+	w := Weights(fn, prob, map[*prog.Block]float64{fn.Entry(): 1000})
+	if w[hot] <= w[cold] {
+		t.Errorf("hot side weight %v should exceed cold side %v", w[hot], w[cold])
+	}
+	if w[fn.Entry()] <= 0 {
+		t.Error("entry weight missing")
+	}
+}
+
+func TestArcWeights(t *testing.T) {
+	p := mustProg(t, diamondLoopSrc)
+	fn := p.Main
+	w := Weights(fn, constProb(0.5), map[*prog.Block]float64{fn.Entry(): 100})
+	aw := ArcWeights(fn, w, constProb(0.5))
+	if len(aw) == 0 {
+		t.Fatal("no arc weights")
+	}
+	for k, x := range aw {
+		if x < 0 {
+			t.Errorf("arc %v has negative weight", k)
+		}
+	}
+}
+
+func TestLayoutKeepsEntryFirstAndAllBlocks(t *testing.T) {
+	p := mustProg(t, diamondLoopSrc)
+	fn := p.Main
+	entry := fn.Entry()
+	before := len(fn.Blocks)
+	w := Weights(fn, constProb(0.9), map[*prog.Block]float64{entry: 1000})
+	Layout(fn, w, constProb(0.9))
+	if fn.Entry() != entry {
+		t.Fatal("layout moved the entry block")
+	}
+	if len(fn.Blocks) != before {
+		t.Fatalf("layout lost blocks: %d -> %d", before, len(fn.Blocks))
+	}
+	seen := map[*prog.Block]bool{}
+	for _, b := range fn.Blocks {
+		if seen[b] {
+			t.Fatal("layout duplicated a block")
+		}
+		seen[b] = true
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutImprovesFallthrough(t *testing.T) {
+	// With taken probability ~1, the taken target should end up adjacent
+	// after layout, reducing layout jumps in the linearized image.
+	src := `
+.func main
+.main
+  li r1, 0
+  li r2, 1000
+loop:
+  blt r1, r2, body
+exit:
+  halt
+body:
+  addi r1, r1, 1
+  jmp loop
+`
+	p := mustProg(t, src)
+	imgBefore, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := p.Main
+	prob := func(b *prog.Block) float64 { return 0.999 }
+	w := Weights(fn, prob, map[*prog.Block]float64{fn.Entry(): 1000})
+	Layout(fn, w, prob)
+	imgAfter, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(img *prog.Image) int {
+		n := 0
+		for _, in := range img.Code {
+			if in.Op == isa.JMP {
+				n++
+			}
+		}
+		return n
+	}
+	if count(imgAfter) > count(imgBefore) {
+		t.Errorf("layout increased jumps: %d -> %d", count(imgBefore), count(imgAfter))
+	}
+}
+
+// randomBlock builds a block of random but dependency-rich ALU/memory code.
+func randomBlock(r *rand.Rand, n int) *prog.Block {
+	b := &prog.Block{Kind: prog.TermHalt}
+	for i := 0; i < n; i++ {
+		var in isa.Inst
+		switch r.Intn(5) {
+		case 0:
+			in = isa.Inst{Op: isa.ADD, Rd: isa.Reg(1 + r.Intn(8)), Rs1: isa.Reg(1 + r.Intn(8)), Rs2: isa.Reg(1 + r.Intn(8))}
+		case 1:
+			in = isa.Inst{Op: isa.MUL, Rd: isa.Reg(1 + r.Intn(8)), Rs1: isa.Reg(1 + r.Intn(8)), Rs2: isa.Reg(1 + r.Intn(8))}
+		case 2:
+			in = isa.Inst{Op: isa.LI, Rd: isa.Reg(1 + r.Intn(8)), Imm: int64(r.Intn(100))}
+		case 3:
+			in = isa.Inst{Op: isa.LD, Rd: isa.Reg(1 + r.Intn(8)), Rs1: isa.R0, Imm: int64(r.Intn(8)) * 8}
+		default:
+			in = isa.Inst{Op: isa.ST, Rs2: isa.Reg(1 + r.Intn(8)), Rs1: isa.R0, Imm: int64(r.Intn(8)) * 8}
+		}
+		b.Insts = append(b.Insts, prog.Ins{Inst: in})
+	}
+	return b
+}
+
+// simulate executes a block's instructions on a tiny interpreter, returning
+// final registers and memory, to check scheduling preserves semantics.
+func simulate(b *prog.Block) ([9]int64, [8]int64) {
+	var regs [9]int64
+	var mem [8]int64
+	for i := range regs {
+		regs[i] = int64(i * 7)
+	}
+	get := func(r isa.Reg) int64 {
+		if r == 0 {
+			return 0
+		}
+		return regs[r]
+	}
+	for _, in := range b.Insts {
+		switch in.Op {
+		case isa.ADD:
+			regs[in.Rd] = get(in.Rs1) + get(in.Rs2)
+		case isa.MUL:
+			regs[in.Rd] = get(in.Rs1) * get(in.Rs2)
+		case isa.LI:
+			regs[in.Rd] = in.Imm
+		case isa.LD:
+			regs[in.Rd] = mem[in.Imm/8]
+		case isa.ST:
+			mem[in.Imm/8] = get(in.Rs2)
+		}
+	}
+	return regs, mem
+}
+
+// Property: scheduling preserves block semantics on random blocks.
+func TestScheduleSemanticsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	res := DefaultResources()
+	for trial := 0; trial < 300; trial++ {
+		b := randomBlock(r, 2+r.Intn(30))
+		want := append([]prog.Ins(nil), b.Insts...)
+		regsBefore, memBefore := simulate(b)
+		scheduleBlock(b, res)
+		if len(b.Insts) != len(want) {
+			t.Fatalf("trial %d: schedule changed instruction count", trial)
+		}
+		regsAfter, memAfter := simulate(b)
+		if regsBefore != regsAfter || memBefore != memAfter {
+			t.Fatalf("trial %d: schedule changed semantics\nbefore: %v\nafter:  %v",
+				trial, want, b.Insts)
+		}
+	}
+}
+
+func TestSchedulePacksIndependentOps(t *testing.T) {
+	// A dependent chain interleaved with independent ops: scheduling
+	// should reduce simulated cycles.
+	src := `
+.func main
+.main
+  li r1, 1
+  add r1, r1, r1
+  add r1, r1, r1
+  add r1, r1, r1
+  add r1, r1, r1
+  li r2, 2
+  li r3, 3
+  li r4, 4
+  li r5, 5
+  mul r6, r2, r3
+  halt
+`
+	p := mustProg(t, src)
+	img1, _ := p.Linearize()
+	s1, _, err := cpu.RunTimed(cpu.DefaultConfig(), img1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Schedule(p.Main, DefaultResources())
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	img2, _ := p.Linearize()
+	s2, m, err := cpu.RunTimed(cpu.DefaultConfig(), img2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[1] != 16 || m.IntRegs[6] != 6 {
+		t.Fatal("scheduled program computed wrong values")
+	}
+	if s2.Cycles > s1.Cycles {
+		t.Errorf("scheduling slowed the block: %d -> %d cycles", s1.Cycles, s2.Cycles)
+	}
+}
+
+func TestScheduleRespectsMemoryOrdering(t *testing.T) {
+	// st then ld from the same address must not reorder.
+	b := &prog.Block{Kind: prog.TermHalt}
+	b.Insts = []prog.Ins{
+		{Inst: isa.Inst{Op: isa.LI, Rd: 1, Imm: 42}},
+		{Inst: isa.Inst{Op: isa.ST, Rs2: 1, Rs1: isa.R0, Imm: 0}},
+		{Inst: isa.Inst{Op: isa.LD, Rd: 2, Rs1: isa.R0, Imm: 0}},
+		{Inst: isa.Inst{Op: isa.ST, Rs2: 2, Rs1: isa.R0, Imm: 8}},
+	}
+	scheduleBlock(b, DefaultResources())
+	storeSeen, loadSeen := -1, -1
+	for i, in := range b.Insts {
+		if in.Op == isa.ST && in.Imm == 0 {
+			storeSeen = i
+		}
+		if in.Op == isa.LD {
+			loadSeen = i
+		}
+	}
+	if storeSeen > loadSeen {
+		t.Error("load reordered above conflicting store")
+	}
+}
+
+func TestProbFromRegionFallbacks(t *testing.T) {
+	p := mustProg(t, diamondLoopSrc)
+	// Fake a region with one measured and some arc-temp-only blocks.
+	var branch *prog.Block
+	for _, b := range p.Main.Blocks {
+		if b.Kind == prog.TermBranch {
+			branch = b
+			break
+		}
+	}
+	reg := newTestRegion()
+	reg.TakenProb[branch] = 0.77
+	prob := ProbFromRegion(reg)
+	if got := prob(branch); got != 0.77 {
+		t.Errorf("measured prob = %v, want 0.77", got)
+	}
+	other := p.Main.Blocks[len(p.Main.Blocks)-1]
+	if got := prob(other); got != 0.5 {
+		t.Errorf("unknown block prob = %v, want 0.5", got)
+	}
+}
+
+func TestApproxWeightsTracksIterative(t *testing.T) {
+	p := mustProg(t, diamondLoopSrc)
+	fn := p.Main
+	prob := func(b *prog.Block) float64 {
+		if b.CmpOp == isa.BLT {
+			return 0.9
+		}
+		return 0.02
+	}
+	seed := map[*prog.Block]float64{fn.Entry(): 1000}
+	exact := Weights(fn, prob, seed)
+	approx := ApproxWeights(fn, prob, seed)
+	if len(approx) == 0 {
+		t.Fatal("approx weights empty")
+	}
+	// The approximation must agree with the solver on ORDER for the blocks
+	// layout cares about: hot side > cold side.
+	var hot, cold *prog.Block
+	for _, b := range fn.Blocks {
+		if b.Kind == prog.TermFall && len(b.Insts) == 1 && b.Insts[0].Op == isa.ADDI {
+			switch b.Insts[0].Imm {
+			case 2:
+				cold = b
+			case 1:
+				hot = b
+			}
+		}
+	}
+	if approx[hot] <= approx[cold] {
+		t.Errorf("approx: hot %v <= cold %v", approx[hot], approx[cold])
+	}
+	if (exact[hot] > exact[cold]) != (approx[hot] > approx[cold]) {
+		t.Error("approx and exact disagree on hot/cold ordering")
+	}
+	// WeightsFor dispatches.
+	if got := WeightsFor(true, fn, prob, seed); got[hot] != approx[hot] {
+		t.Error("WeightsFor(true) did not use the approximation")
+	}
+}
+
+func TestMergeBlocksFusesChains(t *testing.T) {
+	// A pruned-diamond shape: entry -> mid -> tail, all single-pred
+	// fallthroughs, must fuse into one block; a branch target with two
+	// predecessors must survive.
+	src := `
+.func main
+.main
+  li r1, 1
+step1:
+  addi r1, r1, 1
+step2:
+  addi r1, r1, 2
+  beq r1, r0, out
+  addi r1, r1, 3
+out:
+  halt
+`
+	p := mustProg(t, src)
+	fn := p.Main
+	fn.IsPackage = true // merging targets package functions
+	before := len(fn.Blocks)
+	n := MergeBlocks(p, fn)
+	if n == 0 {
+		t.Fatal("nothing merged")
+	}
+	if len(fn.Blocks) != before-n {
+		t.Fatalf("blocks %d -> %d but merged %d", before, len(fn.Blocks), n)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// `out` has two predecessors (branch taken + fallthrough path): the
+	// program must still compute the same result.
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.NewMachine(img)
+	if err := m.Run(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[1] != 7 {
+		t.Errorf("r1 = %d, want 7", m.IntRegs[1])
+	}
+}
+
+func TestMergeBlocksRespectsLATargets(t *testing.T) {
+	src := `
+.func main
+.main
+  li r1, 1
+  la r9, keepme
+keepme:
+  addi r1, r1, 1
+  halt
+`
+	p := mustProg(t, src)
+	fn := p.Main
+	fn.IsPackage = true
+	if n := MergeBlocks(p, fn); n != 0 {
+		t.Fatalf("merged %d blocks across an LA target", n)
+	}
+}
+
+func TestScheduleDisambiguatesMemory(t *testing.T) {
+	// Same base register, different offsets: the load may hoist above the
+	// store, breaking the serial chain.
+	b := &prog.Block{Kind: prog.TermHalt}
+	b.Insts = []prog.Ins{
+		{Inst: isa.Inst{Op: isa.LI, Rd: 1, Imm: 42}},
+		{Inst: isa.Inst{Op: isa.ST, Rs2: 1, Rs1: isa.R0, Imm: 0}},
+		{Inst: isa.Inst{Op: isa.MUL, Rd: 3, Rs1: 1, Rs2: 1}},
+		{Inst: isa.Inst{Op: isa.LD, Rd: 2, Rs1: isa.R0, Imm: 8}}, // disjoint from the store
+	}
+	scheduleBlock(b, DefaultResources())
+	pos := map[isa.Opcode]int{}
+	for i, in := range b.Insts {
+		pos[in.Op] = i
+	}
+	if pos[isa.LD] > pos[isa.MUL] {
+		t.Errorf("disjoint load did not hoist: %v", b.Insts)
+	}
+	// Aliasing pair must keep order.
+	b2 := &prog.Block{Kind: prog.TermHalt}
+	b2.Insts = []prog.Ins{
+		{Inst: isa.Inst{Op: isa.LI, Rd: 1, Imm: 42}},
+		{Inst: isa.Inst{Op: isa.ST, Rs2: 1, Rs1: isa.R0, Imm: 0}},
+		{Inst: isa.Inst{Op: isa.LD, Rd: 2, Rs1: isa.R0, Imm: 0}},
+	}
+	scheduleBlock(b2, DefaultResources())
+	st, ld := -1, -1
+	for i, in := range b2.Insts {
+		if in.Op == isa.ST {
+			st = i
+		}
+		if in.Op == isa.LD {
+			ld = i
+		}
+	}
+	if st > ld {
+		t.Error("aliasing load reordered above store")
+	}
+}
+
+func TestScheduleRedefinedBaseIsConservative(t *testing.T) {
+	// The base register is redefined between two accesses with different
+	// offsets: they may alias and must stay ordered.
+	b := &prog.Block{Kind: prog.TermHalt}
+	b.Insts = []prog.Ins{
+		{Inst: isa.Inst{Op: isa.LI, Rd: 4, Imm: 1048576}},
+		{Inst: isa.Inst{Op: isa.ST, Rs2: 4, Rs1: 4, Imm: 0}},
+		{Inst: isa.Inst{Op: isa.ADDI, Rd: 4, Rs1: 4, Imm: -8}},
+		{Inst: isa.Inst{Op: isa.LD, Rd: 5, Rs1: 4, Imm: 8}}, // same address as the store!
+	}
+	scheduleBlock(b, DefaultResources())
+	st, ld := -1, -1
+	for i, in := range b.Insts {
+		if in.Op == isa.ST {
+			st = i
+		}
+		if in.Op == isa.LD {
+			ld = i
+		}
+	}
+	if st > ld {
+		t.Error("load with redefined base reordered above may-alias store")
+	}
+}

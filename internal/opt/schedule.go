@@ -1,0 +1,234 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Resources describes the issue bandwidth the scheduler packs for,
+// mirroring the machine model (Table 2).
+type Resources struct {
+	IssueWidth  int
+	IntALUs     int
+	FPUnits     int
+	MemUnits    int
+	BranchUnits int
+}
+
+// DefaultResources matches the paper's 8-issue EPIC machine.
+func DefaultResources() Resources {
+	return Resources{IssueWidth: 8, IntALUs: 5, FPUnits: 3, MemUnits: 3, BranchUnits: 3}
+}
+
+func (r Resources) limit(fu isa.FUClass) int {
+	switch fu {
+	case isa.FUIALU:
+		return r.IntALUs
+	case isa.FUFP:
+		return r.FPUnits
+	case isa.FUMem:
+		return r.MemUnits
+	case isa.FUBranch:
+		return r.BranchUnits
+	default:
+		return r.IssueWidth
+	}
+}
+
+// Schedule list-schedules every block of fn for the given resources,
+// reordering instructions within each block to pack issue slots and to
+// separate producers from consumers. Dependences (register RAW/WAR/WAW and
+// conservative memory ordering) are preserved exactly; the terminator stays
+// the block's final operation.
+func Schedule(fn *prog.Func, res Resources) {
+	for _, b := range fn.Blocks {
+		scheduleBlock(b, res)
+	}
+}
+
+type schedNode struct {
+	idx      int
+	succs    []int
+	npred    int
+	priority int // critical-path length to the block end
+	latency  int
+}
+
+// scheduleBlock reorders b.Insts by critical-path list scheduling.
+func scheduleBlock(b *prog.Block, res Resources) {
+	n := len(b.Insts)
+	if n < 2 {
+		return
+	}
+	nodes := make([]schedNode, n)
+	for i := range nodes {
+		nodes[i].idx = i
+		nodes[i].latency = b.Insts[i].Op.Latency()
+	}
+	addEdge := func(from, to int) {
+		if from == to {
+			return
+		}
+		nodes[from].succs = append(nodes[from].succs, to)
+		nodes[to].npred++
+	}
+
+	// Register dependences. lastDef/lastUses index into b.Insts.
+	lastDef := make(map[isa.Reg]int)
+	lastUses := make(map[isa.Reg][]int)
+	// Memory ordering with static disambiguation: two accesses through the
+	// same base register *cannot* alias when their offsets differ (the
+	// base values are equal by construction), and *must* alias when the
+	// offsets match. Accesses through different base registers are ordered
+	// conservatively. The base's defining instruction may sit between the
+	// two accesses; registers redefined since an access was recorded fall
+	// back to may-alias, which the baseIdx check below enforces.
+	type memRef struct {
+		idx     int
+		base    isa.Reg
+		baseIdx int // lastDef of base at access time (-1 = block entry)
+		off     int64
+	}
+	baseAt := func(r isa.Reg) int {
+		if d, ok := lastDef[r]; ok {
+			return d
+		}
+		return -1
+	}
+	mayAlias := func(a, b memRef) bool {
+		if a.base != b.base || a.baseIdx != b.baseIdx {
+			return true // different or re-defined base: unknown
+		}
+		return a.off == b.off
+	}
+	var stores, loads []memRef
+	var uses []isa.Reg
+	for i, in := range b.Insts {
+		uses = in.Uses(uses[:0])
+		for _, r := range uses {
+			if d, ok := lastDef[r]; ok {
+				addEdge(d, i) // RAW
+			}
+			lastUses[r] = append(lastUses[r], i)
+		}
+		switch in.Op {
+		case isa.ST, isa.FST:
+			ref := memRef{idx: i, base: in.Rs1, baseIdx: baseAt(in.Rs1), off: in.Imm}
+			for _, s := range stores {
+				if mayAlias(ref, s) {
+					addEdge(s.idx, i)
+				}
+			}
+			for _, l := range loads {
+				if mayAlias(ref, l) {
+					addEdge(l.idx, i)
+				}
+			}
+			stores = append(stores, ref)
+		case isa.LD, isa.FLD:
+			ref := memRef{idx: i, base: in.Rs1, baseIdx: baseAt(in.Rs1), off: in.Imm}
+			for _, s := range stores {
+				if mayAlias(ref, s) {
+					addEdge(s.idx, i)
+				}
+			}
+			loads = append(loads, ref)
+		}
+		if d, ok := in.Defs(); ok {
+			if prev, okd := lastDef[d]; okd {
+				addEdge(prev, i) // WAW
+			}
+			for _, u := range lastUses[d] {
+				addEdge(u, i) // WAR
+			}
+			lastDef[d] = i
+			lastUses[d] = nil
+		}
+	}
+	// The terminator consumes its compare registers and all memory: keep
+	// every def of Rs1/Rs2 and every store before it — automatic, since
+	// the terminator is not scheduled. Nothing to add.
+
+	// Critical-path priorities (reverse topological over the DAG; succs
+	// always point forward so a reverse index scan works).
+	for i := n - 1; i >= 0; i-- {
+		p := nodes[i].latency
+		for _, s := range nodes[i].succs {
+			if cand := nodes[i].latency + nodes[s].priority; cand > p {
+				p = cand
+			}
+		}
+		nodes[i].priority = p
+	}
+
+	// List scheduling with cycle-accurate ready times.
+	ready := make([]int, 0, n) // node indices ready to issue
+	readyAt := make([]int, n)  // earliest cycle each node may issue
+	npred := make([]int, n)
+	for i := range nodes {
+		npred[i] = nodes[i].npred
+		if npred[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	out := make([]prog.Ins, 0, n)
+	cycle := 0
+	slots := 0
+	fuUsed := map[isa.FUClass]int{}
+	scheduled := 0
+	finish := make([]int, n)
+	for scheduled < n {
+		// Pick the highest-priority ready node that fits this cycle.
+		sort.SliceStable(ready, func(i, j int) bool {
+			a, bn := ready[i], ready[j]
+			if nodes[a].priority != nodes[bn].priority {
+				return nodes[a].priority > nodes[bn].priority
+			}
+			return a < bn
+		})
+		pick := -1
+		if slots < res.IssueWidth {
+			for k, cand := range ready {
+				if readyAt[cand] > cycle {
+					continue
+				}
+				fu := b.Insts[cand].Op.FU()
+				if fu != isa.FUNone && fuUsed[fu] >= res.limit(fu) {
+					continue // this unit is full; another class may fit
+				}
+				pick = k
+				break
+			}
+		}
+		if pick < 0 {
+			// Advance the clock.
+			cycle++
+			slots = 0
+			for k := range fuUsed {
+				fuUsed[k] = 0
+			}
+			continue
+		}
+		node := ready[pick]
+		ready = append(ready[:pick], ready[pick+1:]...)
+		out = append(out, b.Insts[node])
+		scheduled++
+		slots++
+		if fu := b.Insts[node].Op.FU(); fu != isa.FUNone {
+			fuUsed[fu]++
+		}
+		finish[node] = cycle + nodes[node].latency
+		for _, s := range nodes[node].succs {
+			npred[s]--
+			if readyAt[s] < finish[node] {
+				readyAt[s] = finish[node]
+			}
+			if npred[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	b.Insts = out
+}

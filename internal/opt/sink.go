@@ -1,0 +1,132 @@
+package opt
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// SinkColdCode implements the redundancy-elimination optimization §5.4
+// names as future work: "moves cold instructions (those whose results are
+// not consumed within the hot package) to the side exit block". An
+// instruction whose result is dead on every hot successor but needed (or
+// possibly needed) by original code through a side exit is removed from
+// the hot path and re-materialized in the exit block, shortening the hot
+// schedule without changing what the exit path observes.
+//
+// Sinking is deliberately conservative:
+//
+//   - only pure register-computing operations move (no loads, stores, or
+//     anything with memory or control effects),
+//   - the destination must be an exit block with this block as its sole
+//     predecessor,
+//   - the result must be dead along every other successor,
+//   - neither the result nor any operand may be touched later in the
+//     source block.
+//
+// It returns the number of instructions sunk.
+func SinkColdCode(fn *prog.Func) int {
+	fn.ComputePreds()
+	lv := prog.ComputeLiveness(fn)
+	sunk := 0
+	for _, b := range fn.Blocks {
+		sunk += sinkFromBlock(fn, b, lv)
+	}
+	return sunk
+}
+
+// isExitBlock reports whether s is a package side exit: an unconditional
+// transfer out of the function (to original code or a linked sibling).
+func isExitBlock(s *prog.Block, fn *prog.Func) bool {
+	return s != nil && s.Fn == fn && s.Kind == prog.TermFall &&
+		s.Next != nil && s.Next.Fn != fn && len(s.Insts) >= 0
+}
+
+// pureOp reports whether the instruction computes a register result with
+// no memory or control effects.
+func pureOp(in prog.Ins) bool {
+	switch in.Op {
+	case isa.LD, isa.ST, isa.FLD, isa.FST, isa.NOP:
+		return false
+	}
+	return in.Op.HasRd() && !in.Op.IsControl()
+}
+
+func sinkFromBlock(fn *prog.Func, b *prog.Block, lv *prog.Liveness) int {
+	if b.Kind != prog.TermBranch {
+		return 0
+	}
+	var exit *prog.Block
+	var others []*prog.Block
+	for _, s := range b.Succs(nil) {
+		if isExitBlock(s, fn) && len(s.Preds()) == 1 {
+			if exit != nil {
+				return 0 // both sides exit: no unique hot path to shorten
+			}
+			exit = s
+		} else {
+			others = append(others, s)
+		}
+	}
+	if exit == nil {
+		return 0
+	}
+
+	sunk := 0
+	// Iterate to a local fixpoint: sinking the last eligible instruction
+	// can expose the one before it.
+	for {
+		idx := -1
+		var uses []isa.Reg
+	scan:
+		for k := len(b.Insts) - 1; k >= 0; k-- {
+			in := b.Insts[k]
+			if !pureOp(in) {
+				continue
+			}
+			d, ok := in.Defs()
+			if !ok {
+				continue
+			}
+			// Result must be dead on every non-exit successor...
+			for _, s := range others {
+				if lv.In[s].Has(d) {
+					continue scan
+				}
+			}
+			// ...unused by the terminator...
+			if (b.Rs1 == d && b.Rs1 != isa.R0) || (b.Rs2 == d && b.Rs2 != isa.R0) {
+				continue
+			}
+			// ...and untouched after k, with operands also untouched.
+			opnds := in.Uses(nil)
+			for j := k + 1; j < len(b.Insts); j++ {
+				later := b.Insts[j]
+				uses = later.Uses(uses[:0])
+				for _, r := range uses {
+					if r == d {
+						continue scan
+					}
+				}
+				if ld, ok := later.Defs(); ok {
+					if ld == d {
+						continue scan
+					}
+					for _, r := range opnds {
+						if ld == r {
+							continue scan
+						}
+					}
+				}
+			}
+			idx = k
+			break
+		}
+		if idx < 0 {
+			return sunk
+		}
+		in := b.Insts[idx]
+		b.Insts = append(b.Insts[:idx], b.Insts[idx+1:]...)
+		exit.Insts = append([]prog.Ins{in}, exit.Insts...)
+		sunk++
+	}
+}

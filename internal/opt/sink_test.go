@@ -1,0 +1,136 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// sinkFixture builds a package-shaped function by hand:
+//
+//	entry:  d1 = r1+r2 (cold: only the exit consumes it)
+//	        d2 = r1*r2 (hot: the join consumes it)
+//	        branch -> exit block (rare) / join
+//	exitb:  (exit) -> original
+//	join:   use d2; halt
+func sinkFixture() (*prog.Program, *prog.Func, *prog.Block, *prog.Block) {
+	bd := prog.NewBuilder()
+	orig := bd.Func("orig")
+	bd.Halt()
+	origBlk := orig.Blocks[0]
+
+	pkg := bd.Func("pkg")
+	bd.Main() // entry point so Verify/Linearize work
+	entry := bd.Cur()
+	exitb := bd.NewBlock()
+	join := bd.NewBlock()
+
+	bd.Op3(isa.ADD, 10, 1, 2) // d1 = cold
+	bd.Op3(isa.MUL, 11, 1, 2) // d2 = hot
+	bd.Branch(isa.BEQ, 3, isa.R0, exitb, join)
+
+	bd.SetBlock(exitb)
+	bd.Goto(origBlk)
+	exitb.ExitConsumes = []isa.Reg{10} // original code reads d1
+
+	bd.SetBlock(join)
+	bd.Op3(isa.ADD, 12, 11, 11)
+	bd.Halt()
+
+	pkg.IsPackage = true
+	_ = entry
+	return bd.P, pkg, entry, exitb
+}
+
+func TestSinkMovesColdResultToExit(t *testing.T) {
+	p, pkg, entry, exitb := sinkFixture()
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	n := SinkColdCode(pkg)
+	if n != 1 {
+		t.Fatalf("sunk %d instructions, want 1", n)
+	}
+	// The ADD (cold) moved; the MUL (hot) stayed.
+	if len(entry.Insts) != 1 || entry.Insts[0].Op != isa.MUL {
+		t.Errorf("entry insts after sink = %v", entry.Insts)
+	}
+	if len(exitb.Insts) != 1 || exitb.Insts[0].Op != isa.ADD {
+		t.Errorf("exit insts after sink = %v", exitb.Insts)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkRefusesLiveOnHotPath(t *testing.T) {
+	p, pkg, entry, _ := sinkFixture()
+	_ = p
+	// Make the join consume d1 too: now nothing may sink.
+	join := pkg.Blocks[2]
+	join.Insts = append(join.Insts, prog.Ins{Inst: isa.Inst{Op: isa.ADD, Rd: 13, Rs1: 10, Rs2: 10}})
+	if n := SinkColdCode(pkg); n != 0 {
+		t.Fatalf("sunk %d instructions, want 0 (result live on hot path)", n)
+	}
+	if len(entry.Insts) != 2 {
+		t.Error("entry block modified despite refusal")
+	}
+}
+
+func TestSinkRefusesImpureOps(t *testing.T) {
+	p, pkg, entry, _ := sinkFixture()
+	_ = p
+	// Replace the cold ADD with a load: loads never sink.
+	entry.Insts[0] = prog.Ins{Inst: isa.Inst{Op: isa.LD, Rd: 10, Rs1: isa.R0, Imm: prog.DataBase}}
+	if n := SinkColdCode(pkg); n != 0 {
+		t.Fatalf("sunk %d, want 0 (loads are not pure)", n)
+	}
+}
+
+func TestSinkRefusesClobberedOperands(t *testing.T) {
+	p, pkg, entry, _ := sinkFixture()
+	_ = p
+	// Clobber r1 after the cold ADD, and make the new r1 live on the hot
+	// path so the clobberer itself cannot sink along with it: the ADD must
+	// then stay put (its operand would change value).
+	entry.Insts = append(entry.Insts, prog.Ins{Inst: isa.Inst{Op: isa.LI, Rd: 1, Imm: 9}})
+	join := pkg.Blocks[2]
+	join.Insts = append(join.Insts, prog.Ins{Inst: isa.Inst{Op: isa.ADD, Rd: 13, Rs1: 1, Rs2: 1}})
+	if n := SinkColdCode(pkg); n != 0 {
+		t.Fatalf("sunk %d, want 0 (operand clobbered later)", n)
+	}
+}
+
+func TestSinkClobbererMayFollow(t *testing.T) {
+	// When the clobbering instruction is itself cold, the fixpoint sinks
+	// both in original order, which preserves semantics on the exit path.
+	p, pkg, entry, exitb := sinkFixture()
+	_ = p
+	entry.Insts = append(entry.Insts, prog.Ins{Inst: isa.Inst{Op: isa.LI, Rd: 1, Imm: 9}})
+	if n := SinkColdCode(pkg); n != 2 {
+		t.Fatalf("sunk %d, want 2 (value and its clobberer, in order)", n)
+	}
+	if len(exitb.Insts) != 2 || exitb.Insts[0].Op != isa.ADD || exitb.Insts[1].Op != isa.LI {
+		t.Errorf("exit order wrong: %v", exitb.Insts)
+	}
+}
+
+func TestSinkChains(t *testing.T) {
+	// Two cold instructions where the second consumes the first: both sink
+	// in order.
+	p, pkg, entry, exitb := sinkFixture()
+	_ = p
+	entry.Insts = []prog.Ins{
+		{Inst: isa.Inst{Op: isa.ADD, Rd: 10, Rs1: 1, Rs2: 2}},   // cold
+		{Inst: isa.Inst{Op: isa.ADDI, Rd: 14, Rs1: 10, Imm: 5}}, // cold, uses r10
+		{Inst: isa.Inst{Op: isa.MUL, Rd: 11, Rs1: 1, Rs2: 2}},   // hot
+	}
+	exitb.ExitConsumes = []isa.Reg{14}
+	if n := SinkColdCode(pkg); n != 2 {
+		t.Fatalf("sunk %d, want 2", n)
+	}
+	if len(exitb.Insts) != 2 || exitb.Insts[0].Op != isa.ADD || exitb.Insts[1].Op != isa.ADDI {
+		t.Errorf("exit order wrong: %v", exitb.Insts)
+	}
+}

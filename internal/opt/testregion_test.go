@@ -1,0 +1,14 @@
+package opt
+
+import (
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// newTestRegion builds an empty region for ProbFromRegion tests.
+func newTestRegion() *region.Region {
+	return &region.Region{
+		TakenProb: map[*prog.Block]float64{},
+		ArcTemp:   map[region.ArcKey]region.Temp{},
+	}
+}

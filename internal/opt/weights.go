@@ -1,0 +1,111 @@
+// Package opt holds the post-extraction optimization passes the paper
+// evaluates (§5.4): profile-weight calculation from taken probabilities,
+// hot-path code layout, and list scheduling of package code for the
+// 8-issue EPIC machine.
+package opt
+
+import (
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// BranchProb supplies the taken probability of a branch block, typically
+// derived from the phase's hot-spot record via the block's Origin.
+type BranchProb func(b *prog.Block) float64
+
+// ProbFromRegion builds a BranchProb for package code: a copy's probability
+// comes from its origin's measured taken probability in the region; blocks
+// without a measurement fall back to arc temperatures, then to 0.5.
+func ProbFromRegion(r *region.Region) BranchProb {
+	return func(b *prog.Block) float64 {
+		ob := b
+		if b.Origin != nil {
+			ob = prog.OriginRoot(b)
+		}
+		if p, ok := r.TakenProb[ob]; ok {
+			return p
+		}
+		tTemp := r.ArcTemp[region.ArcKey{From: ob, Taken: true}]
+		fTemp := r.ArcTemp[region.ArcKey{From: ob, Taken: false}]
+		switch {
+		case tTemp == region.Hot && fTemp != region.Hot:
+			return 0.9
+		case fTemp == region.Hot && tTemp != region.Hot:
+			return 0.1
+		default:
+			return 0.5
+		}
+	}
+}
+
+// Weights estimates per-block execution weights for one function from
+// branch probabilities, using damped iterative flow propagation (the
+// paper's §5.4 calculation, after [4]). seed supplies entry weights; blocks
+// keyed in seed receive that inflow every iteration in addition to
+// propagated flow. The result is relative, not absolute — layout only needs
+// ordering.
+func Weights(fn *prog.Func, prob BranchProb, seed map[*prog.Block]float64) map[*prog.Block]float64 {
+	const (
+		iterations = 64
+		damping    = 0.85 // keeps loop flow finite without natural exits
+	)
+	w := make(map[*prog.Block]float64, len(fn.Blocks))
+	cur := make(map[*prog.Block]float64, len(fn.Blocks))
+	for b, s := range seed {
+		cur[b] = s
+	}
+	for it := 0; it < iterations; it++ {
+		next := make(map[*prog.Block]float64, len(fn.Blocks))
+		for b, s := range seed {
+			next[b] += s
+		}
+		for _, b := range fn.Blocks {
+			f := cur[b]
+			if f == 0 {
+				continue
+			}
+			w[b] += f
+			out := f * damping
+			switch b.Kind {
+			case prog.TermFall, prog.TermCall:
+				if b.Next != nil && b.Next.Fn == fn {
+					next[b.Next] += out
+				}
+			case prog.TermBranch:
+				p := prob(b)
+				if b.Taken != nil && b.Taken.Fn == fn {
+					next[b.Taken] += out * p
+				}
+				if b.Next != nil && b.Next.Fn == fn {
+					next[b.Next] += out * (1 - p)
+				}
+			}
+		}
+		cur = next
+	}
+	return w
+}
+
+// ArcWeights derives arc weights from block weights and probabilities, for
+// layout chain formation.
+func ArcWeights(fn *prog.Func, w map[*prog.Block]float64, prob BranchProb) map[region.ArcKey]float64 {
+	out := make(map[region.ArcKey]float64)
+	for _, b := range fn.Blocks {
+		f := w[b]
+		switch b.Kind {
+		case prog.TermFall, prog.TermCall:
+			if b.Next != nil && b.Next.Fn == fn {
+				out[region.ArcKey{From: b, Taken: false}] = f
+			}
+		case prog.TermBranch:
+			p := prob(b)
+			if b.Taken != nil && b.Taken.Fn == fn {
+				out[region.ArcKey{From: b, Taken: true}] = f * p
+			}
+			if b.Next != nil && b.Next.Fn == fn {
+				out[region.ArcKey{From: b, Taken: false}] = f * (1 - p)
+			}
+		}
+	}
+	return out
+}

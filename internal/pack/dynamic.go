@@ -1,0 +1,128 @@
+package pack
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Dynamic launch-point selection, the alternative §3.3.4 discusses and
+// sets aside: "Another solution would have been to dynamically modify the
+// launch point branch to point to the expected best package. ... a
+// monitoring code snippet could be introduced along the exit path to feed
+// a dynamic predictor."
+//
+// Implementation: each shared entry block gets a launch *slot* (one
+// optimizer state word at prog.ScratchBase) and a launcher function:
+//
+//	root.launch.bN:
+//	        ld  ropt, slot(r0)
+//	        beq ropt, r0, <left-most package's entry copy>   ; cold start
+//	        jr  ropt
+//
+// Original-code arcs into the entry are retargeted to the launcher, and
+// call sites simply call it — the launcher transfers with jumps, so the
+// caller's return address flows through to the package unchanged. Exits
+// that static linking would have wired into a sibling package instead gain
+// a monitoring snippet — `la ropt, <sibling entry copy>; st ropt,
+// slot(r0)` — and continue to original code: the *next* launch lands in
+// the package built for the phase that is actually running. The indirect
+// jump predicts through the BTB, so the mechanism pays one redirect per
+// phase change.
+//
+// ROpt (r29) is architecturally reserved for optimizer-synthesized code.
+
+// ROpt is the scratch register reserved for dynamic launch shims and
+// monitors. Programs must not use it.
+const ROpt = isa.Reg(29)
+
+// installDynamic wires one same-root package group for dynamic launch
+// selection. It returns the number of launch points patched and monitor
+// snippets inserted.
+func installDynamic(p *prog.Program, ordered []*Package, links []linkChoice) (launches, monitors int) {
+	root := ordered[0].Root
+
+	// One slot and launcher function per shared original entry block.
+	type shimInfo struct {
+		slot int64
+		fn   *prog.Func
+	}
+	shims := make(map[*prog.Block]shimInfo)
+	for _, pk := range ordered {
+		for oe := range pk.Entries {
+			if _, done := shims[oe]; done {
+				continue
+			}
+			// The left-most package holding this entry provides the
+			// cold-start target.
+			var def *prog.Block
+			for _, q := range ordered {
+				if c, ok := q.Entries[oe]; ok {
+					def = c
+					break
+				}
+			}
+			slot := p.AllocScratch()
+			fn := p.AddFunc(root.Name + ".launch." + oe.String())
+			fn.IsPackage = true
+			head := p.NewBlock(fn)
+			head.Kind = prog.TermBranch
+			head.CmpOp = isa.BEQ
+			head.Rs1, head.Rs2 = ROpt, isa.R0
+			head.Insts = []prog.Ins{{Inst: isa.Inst{Op: isa.LD, Rd: ROpt, Rs1: isa.R0, Imm: slot}}}
+			jr := p.NewBlock(fn)
+			jr.Kind = prog.TermJumpReg
+			jr.Rs1 = ROpt
+			head.Taken = def
+			head.Next = jr
+			shims[oe] = shimInfo{slot: slot, fn: fn}
+		}
+	}
+
+	// Retarget original-code arcs and call sites into the launchers.
+	rootEntry := root.Entry()
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.Kind == prog.TermCall && b.Callee == root {
+				if sh, ok := shims[rootEntry]; ok {
+					b.Callee = sh.fn
+					launches++
+				}
+			}
+			if f.IsPackage {
+				continue
+			}
+			if b.Kind == prog.TermBranch {
+				if sh, ok := shims[b.Taken]; ok && b.Taken != nil {
+					b.Taken = sh.fn.Entry()
+					launches++
+				}
+			}
+			if b.Kind == prog.TermFall || b.Kind == prog.TermBranch || b.Kind == prog.TermCall {
+				if sh, ok := shims[b.Next]; ok && b.Next != nil {
+					b.Next = sh.fn.Entry()
+					launches++
+				}
+			}
+		}
+	}
+
+	// Monitoring snippets: where static linking would have retargeted an
+	// exit into package Q, dynamic launch instead records Q's entry as the
+	// next launch target and lets the exit return to original code.
+	for _, lc := range links {
+		q := lc.pkg
+		for oe, sh := range shims {
+			qEntry, ok := q.Entries[oe]
+			if !ok {
+				continue
+			}
+			snippet := []prog.Ins{
+				{Inst: isa.Inst{Op: isa.LA, Rd: ROpt}, BlockTarget: qEntry},
+				{Inst: isa.Inst{Op: isa.ST, Rs2: ROpt, Rs1: isa.R0, Imm: sh.slot}},
+			}
+			lc.exit.Block.Insts = append(snippet, lc.exit.Block.Insts...)
+			monitors++
+		}
+	}
+	return launches, monitors
+}

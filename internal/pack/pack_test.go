@@ -1,0 +1,478 @@
+package pack
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/hsd"
+	"repro/internal/isa"
+	"repro/internal/phasedb"
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// fixture assembles a program, identifies a region from the given branch
+// records and returns everything a pack test needs.
+type fixture struct {
+	p   *prog.Program
+	img *prog.Image
+	reg *region.Region
+}
+
+type brec struct {
+	fn          string
+	branchIdx   int // nth TermBranch block of fn, in layout order
+	exec, taken uint32
+}
+
+func mkFixture(t *testing.T, src string, phaseID int, recs []brec) *fixture {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hsrecs []hsd.BranchRecord
+	for _, r := range recs {
+		fn := p.FuncByName(r.fn)
+		if fn == nil {
+			t.Fatalf("no function %s", r.fn)
+		}
+		n := 0
+		var blk *prog.Block
+		for _, b := range fn.Blocks {
+			if b.Kind == prog.TermBranch {
+				if n == r.branchIdx {
+					blk = b
+					break
+				}
+				n++
+			}
+		}
+		if blk == nil {
+			t.Fatalf("branch %d not found in %s", r.branchIdx, r.fn)
+		}
+		hsrecs = append(hsrecs, hsd.BranchRecord{PC: img.TermAddr[blk], Exec: r.exec, Taken: r.taken})
+	}
+	db := phasedb.New(phasedb.DefaultConfig())
+	for i := 0; i < phaseID; i++ {
+		// burn phase IDs so the region gets the requested one
+		db.Record(hsd.HotSpot{Branches: []hsd.BranchRecord{{PC: int64(90000 + i), Exec: 100, Taken: 50}}})
+	}
+	ph := db.Record(hsd.HotSpot{Branches: hsrecs})
+	reg, err := region.Identify(region.DefaultConfig(), img, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{p: p, img: img, reg: reg}
+}
+
+// loopWithCalleeSrc: main loops calling main-level work; work calls helper.
+const loopWithCalleeSrc = `
+.func helper
+  addi sp, sp, -8
+  st ra, 0(sp)
+  li r4, 3
+hloop:
+  addi r4, r4, -1
+  bne r4, r0, hloop
+  ld ra, 0(sp)
+  addi sp, sp, 8
+  ret
+
+.func work
+  addi sp, sp, -8
+  st ra, 0(sp)
+  li r3, 5
+wloop:
+  call helper
+  addi r3, r3, -1
+  bne r3, r0, wloop
+  ld ra, 0(sp)
+  addi sp, sp, 8
+  ret
+
+.func main
+.main
+  li r1, 100
+mloop:
+  call work
+  addi r1, r1, -1
+  bne r1, r0, mloop
+  halt
+`
+
+func TestBuildPhaseInlinesCallee(t *testing.T) {
+	fx := mkFixture(t, loopWithCalleeSrc, 0, []brec{
+		{"main", 0, 400, 396},
+		{"work", 0, 400, 320},
+		{"helper", 0, 400, 260},
+	})
+	pkgs, err := BuildPhase(DefaultConfig(), fx.p, fx.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("packages = %d, want 1 (main roots everything)", len(pkgs))
+	}
+	pk := pkgs[0]
+	if pk.Root != fx.p.Main {
+		t.Errorf("root = %s, want main", pk.Root.Name)
+	}
+	if pk.InlinedCalls != 2 {
+		t.Errorf("inlined calls = %d, want 2 (work into main, helper into work)", pk.InlinedCalls)
+	}
+	if !pk.Fn.IsPackage {
+		t.Error("package function not flagged")
+	}
+	// The package must contain an LA materializing a return address for
+	// each inlined call.
+	las := 0
+	for _, b := range pk.Fn.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == isa.LA && in.Rd == isa.RRA {
+				las++
+			}
+		}
+	}
+	if las != 2 {
+		t.Errorf("LA ra count = %d, want 2", las)
+	}
+	if _, err := Install(DefaultConfig(), fx.p, pkgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExitBlocksCarryLiveness(t *testing.T) {
+	// A branch with one cold side: the pruned side becomes an exit block
+	// with dummy-consumer metadata.
+	src := `
+.func main
+.main
+  li r1, 0
+  li r2, 200
+loop:
+  ld r3, 0(r0)
+  beq r3, r2, rare
+  addi r1, r1, 1
+back:
+  blt r1, r2, loop
+  halt
+rare:
+  add r4, r1, r3
+  jmp back
+`
+	fx := mkFixture(t, src, 0, []brec{
+		{"main", 0, 450, 5},   // beq: rare taken 1%
+		{"main", 1, 450, 440}, // blt: loop backedge
+	})
+	pkgs, err := BuildPhase(DefaultConfig(), fx.p, fx.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exits, withConsumers int
+	for _, pk := range pkgs {
+		for _, e := range pk.Exits {
+			exits++
+			if e.Block.Kind != prog.TermFall {
+				t.Error("exit block should be an unconditional transfer")
+			}
+			if e.Target == nil || e.Target.Fn.IsPackage {
+				t.Error("exit must target original code before linking")
+			}
+			if len(e.Block.ExitConsumes) > 0 {
+				withConsumers++
+			}
+		}
+	}
+	if exits == 0 {
+		t.Fatal("no exits created for pruned cold path")
+	}
+	// The exit into the rare block must consume r1/r3 (live into original
+	// code); exits into the final halt block legitimately consume nothing.
+	if withConsumers == 0 {
+		t.Error("no exit carries a live-register consumer set")
+	}
+}
+
+func TestSelfRecursiveRoot(t *testing.T) {
+	src := `
+.func rec
+  addi sp, sp, -8
+  st ra, 0(sp)
+  ld r2, 0(r0)
+  beq r2, r0, base
+  addi r2, r2, -1
+  st r2, 0(r0)
+  call rec
+base:
+  ld ra, 0(sp)
+  addi sp, sp, 8
+  ret
+
+.func main
+.main
+  li r9, 300
+mloop:
+  li r3, 5
+  st r3, 0(r0)
+  call rec
+  addi r9, r9, -1
+  bne r9, r0, mloop
+  halt
+`
+	fx := mkFixture(t, src, 0, []brec{
+		{"rec", 0, 400, 70}, // base case taken ~17%
+		{"main", 0, 400, 390},
+	})
+	pkgs, err := BuildPhase(DefaultConfig(), fx.p, fx.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rec is self-recursive, so it must be a root of its own package even
+	// though main also inlines it.
+	var recPkg *Package
+	for _, pk := range pkgs {
+		if pk.Root.Name == "rec" {
+			recPkg = pk
+		}
+	}
+	if recPkg == nil {
+		t.Fatal("self-recursive function did not become a root")
+	}
+	if _, err := Install(DefaultConfig(), fx.p, pkgs); err != nil {
+		t.Fatal(err)
+	}
+	// Inside rec's package, recursion beyond the single inlined copy must
+	// re-enter a package (its own or via the patched call), never be lost.
+	foundRecursiveCall := false
+	for _, b := range recPkg.Fn.Blocks {
+		if b.Kind == prog.TermCall && b.Callee != nil && b.Callee.IsPackage {
+			foundRecursiveCall = true
+		}
+	}
+	if !foundRecursiveCall {
+		t.Error("recursive call does not re-enter package code")
+	}
+}
+
+func TestLaunchPointsPatchOriginalCode(t *testing.T) {
+	// Only work/helper are hot: the package roots at work, and main's call
+	// site becomes the launch point. (A region rooted at main itself has
+	// no launch points — nothing calls main.)
+	fx := mkFixture(t, loopWithCalleeSrc, 0, []brec{
+		{"work", 0, 400, 320},
+		{"helper", 0, 400, 260},
+	})
+	pkgs, err := BuildPhase(DefaultConfig(), fx.p, fx.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Install(DefaultConfig(), fx.p, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LaunchPoints == 0 {
+		t.Fatal("no launch points patched")
+	}
+	if res.OrigInsts == 0 || res.AddedInsts == 0 || res.SelectedInsts == 0 {
+		t.Error("static accounting empty")
+	}
+	// Replication can dip slightly below 1 for a single tiny package:
+	// inlined returns become fallthroughs and drop their slot.
+	if res.CodeGrowth() <= 0 || res.SelectedFraction() <= 0 || res.Replication() < 0.5 {
+		t.Errorf("growth=%v selected=%v repl=%v", res.CodeGrowth(), res.SelectedFraction(), res.Replication())
+	}
+}
+
+// twoPhaseFixture builds two same-root phases with opposite biases and
+// returns their packages plus the program.
+func twoPhaseFixture(t *testing.T) (*prog.Program, []*Package) {
+	t.Helper()
+	src := `
+.func main
+.main
+  li r1, 1000
+loop:
+  ld r3, 8(r0)
+  beq r3, r0, sideB
+sideA:
+  addi r4, r4, 1
+  jmp join
+sideB:
+  addi r4, r4, 2
+join:
+  addi r1, r1, -1
+  bne r1, r0, loop
+  halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branches []*prog.Block
+	for _, b := range p.Main.Blocks {
+		if b.Kind == prog.TermBranch {
+			branches = append(branches, b)
+		}
+	}
+	db := phasedb.New(phasedb.DefaultConfig())
+	mk := func(takenFrac float64) *phasedb.Phase {
+		return db.Record(hsd.HotSpot{Branches: []hsd.BranchRecord{
+			{PC: img.TermAddr[branches[0]], Exec: 400, Taken: uint32(400 * takenFrac)},
+			{PC: img.TermAddr[branches[1]], Exec: 400, Taken: 396},
+		}})
+	}
+	ph1 := mk(0.02) // phase 0: sideA
+	ph2 := mk(0.98) // phase 1: sideB — bias flip separates the phases
+	if ph1 == ph2 {
+		t.Fatal("phases should be distinct")
+	}
+	var pkgs []*Package
+	for _, ph := range []*phasedb.Phase{ph1, ph2} {
+		reg, err := region.Identify(region.DefaultConfig(), img, ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := BuildPhase(DefaultConfig(), p, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	return p, pkgs
+}
+
+func TestLinkingConnectsSameRootPackages(t *testing.T) {
+	p, pkgs := twoPhaseFixture(t)
+	if len(pkgs) != 2 {
+		t.Fatalf("packages = %d, want 2", len(pkgs))
+	}
+	res, err := Install(DefaultConfig(), p, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Links == 0 {
+		t.Fatal("same-root opposite-bias packages formed no links")
+	}
+	// Linked exits must target package code under the same origin block.
+	for _, pk := range res.Packages {
+		for _, e := range pk.Exits {
+			if e.Linked == nil {
+				continue
+			}
+			if !strings.HasPrefix(e.Linked.Fn.Name, pk.Root.Name) {
+				t.Errorf("link went to foreign root package %s", e.Linked.Fn.Name)
+			}
+			if e.Block.Next.Fn != e.Linked.Fn {
+				t.Error("linked exit does not jump into the linked package")
+			}
+			if prog.OriginRoot(e.Block.Next) != e.Target {
+				t.Error("linked exit target has wrong origin block")
+			}
+		}
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkingDisabled(t *testing.T) {
+	p, pkgs := twoPhaseFixture(t)
+	cfg := DefaultConfig()
+	cfg.EnableLinking = false
+	res, err := Install(cfg, p, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Links != 0 {
+		t.Errorf("links = %d with linking disabled", res.Links)
+	}
+	for _, pk := range res.Packages {
+		for _, e := range pk.Exits {
+			if e.Linked != nil || e.Block.Next.Fn.IsPackage {
+				t.Error("exit was linked despite linking disabled")
+			}
+		}
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	// Reproduce the paper's §3.3.4 arithmetic: ratios 2/5, 2/5, 3/6 give
+	// rank 0.4 + 0.4*0.4 + 0.16*0.5 = 0.64.
+	mk := func(branches, incoming int) *Package {
+		return &Package{Fn: &prog.Func{Name: "t"}, Branches: branches}
+	}
+	a, b, c := mk(5, 0), mk(5, 0), mk(6, 0)
+	links := []linkChoice{}
+	addLinks := func(pk *Package, n int) {
+		for i := 0; i < n; i++ {
+			links = append(links, linkChoice{pkg: pk})
+		}
+	}
+	addLinks(a, 2)
+	addLinks(b, 2)
+	addLinks(c, 3)
+	rank := rankOrdering([]*Package{a, b, c}, links)
+	if rank < 0.639 || rank > 0.641 {
+		t.Errorf("rank = %v, want 0.64", rank)
+	}
+}
+
+func TestPermute(t *testing.T) {
+	xs := []*Package{{}, {}, {}}
+	count := 0
+	permute(xs, func(p []*Package) { count++ })
+	if count != 6 {
+		t.Errorf("permutations = %d, want 6", count)
+	}
+}
+
+func TestBuildPhaseErrors(t *testing.T) {
+	p, err := asm.Assemble(".func main\n.main\n  halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &region.Region{
+		BlockTemp: map[*prog.Block]region.Temp{},
+		ArcTemp:   map[region.ArcKey]region.Temp{},
+	}
+	if _, err := BuildPhase(DefaultConfig(), p, reg); err == nil {
+		t.Error("empty region should fail")
+	}
+}
+
+func TestPackagePreservesSemantics(t *testing.T) {
+	// End-to-end check at the pack level: the packed program computes the
+	// same result. (core tests cover this at scale; this is the minimal
+	// reproduction.)
+	fx := mkFixture(t, loopWithCalleeSrc, 0, []brec{
+		{"main", 0, 400, 396},
+		{"work", 0, 400, 320},
+		{"helper", 0, 400, 260},
+	})
+	pkgs, err := BuildPhase(DefaultConfig(), fx.p, fx.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(DefaultConfig(), fx.p, pkgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.p.Linearize(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package phasedb
+
+// Category is the Figure 9 branch taxonomy: a static branch either appears
+// in exactly one phase (Unique) or in several (Multi), and its bias
+// behavior across phases determines the sub-category.
+type Category int
+
+// Categories, in the paper's Figure 9 order.
+const (
+	UniqueBiased Category = iota
+	UniqueUnbiased
+	MultiHigh   // biased somewhere, taken-fraction swing across phases > 70%
+	MultiLow    // biased somewhere, swing in (40%, 70%]
+	MultiSame   // biased somewhere, swing <= 40%
+	MultiNoBias // never biased in any phase
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case UniqueBiased:
+		return "Unique Biased"
+	case UniqueUnbiased:
+		return "Unique Unbiased"
+	case MultiHigh:
+		return "Multi High"
+	case MultiLow:
+		return "Multi Low"
+	case MultiSame:
+		return "Multi Same"
+	case MultiNoBias:
+		return "Multi No Bias"
+	default:
+		return "?"
+	}
+}
+
+// Categorization is the dynamic-execution-weighted breakdown of hot-spot
+// branches for one program.
+type Categorization struct {
+	// Weight[c] is the total executed count of branches in category c.
+	Weight [NumCategories]uint64
+	// Count[c] is the number of static branches in category c.
+	Count [NumCategories]int
+	Total uint64
+}
+
+// Fraction returns category c's share of dynamic hot-spot branch execution.
+func (cz Categorization) Fraction(c Category) float64 {
+	if cz.Total == 0 {
+		return 0
+	}
+	return float64(cz.Weight[c]) / float64(cz.Total)
+}
+
+// Categorize classifies every static branch that appears in any phase,
+// weighting each by its total executed count across phases (§5.3).
+func (db *DB) Categorize() Categorization {
+	type agg struct {
+		phases int
+		exec   uint64
+		minFra float64
+		maxFra float64
+		biased bool
+	}
+	branches := make(map[int64]*agg)
+	for _, ph := range db.Phases {
+		for pc, s := range ph.Branches {
+			a := branches[pc]
+			frac := s.TakenFraction()
+			if a == nil {
+				a = &agg{minFra: frac, maxFra: frac}
+				branches[pc] = a
+			}
+			a.phases++
+			a.exec += s.Exec
+			if frac < a.minFra {
+				a.minFra = frac
+			}
+			if frac > a.maxFra {
+				a.maxFra = frac
+			}
+			if db.cfg.BiasOf(frac) != BiasNone {
+				a.biased = true
+			}
+		}
+	}
+	var cz Categorization
+	for _, a := range branches {
+		var c Category
+		switch {
+		case a.phases == 1 && a.biased:
+			c = UniqueBiased
+		case a.phases == 1:
+			c = UniqueUnbiased
+		case !a.biased:
+			c = MultiNoBias
+		default:
+			swing := a.maxFra - a.minFra
+			switch {
+			case swing > 0.70:
+				c = MultiHigh
+			case swing > 0.40:
+				c = MultiLow
+			default:
+				c = MultiSame
+			}
+		}
+		cz.Weight[c] += a.exec
+		cz.Count[c]++
+		cz.Total += a.exec
+	}
+	return cz
+}

@@ -1,0 +1,62 @@
+package prog
+
+// Edge identifies a CFG arc by endpoints (directions collapse: a branch
+// whose taken and fallthrough targets coincide yields one edge).
+type Edge struct {
+	From, To *Block
+}
+
+// BackEdges returns the back edges of f's CFG: arcs from a block to one of
+// its DFS ancestors, computed from the function entry (unreachable blocks
+// are visited as extra roots in layout order). Both the paper's root/entry
+// identification (§3.3.2) and region growth (§3.2.3) ignore back edges.
+func BackEdges(f *Func) map[Edge]bool {
+	back := make(map[Edge]bool)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*Block]uint8, len(f.Blocks))
+
+	type frame struct {
+		b     *Block
+		succs []*Block
+		i     int
+	}
+	var dfs func(root *Block)
+	dfs = func(root *Block) {
+		if color[root] != white {
+			return
+		}
+		stack := []frame{{b: root, succs: root.Succs(nil)}}
+		color[root] = grey
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.i >= len(fr.succs) {
+				color[fr.b] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			s := fr.succs[fr.i]
+			fr.i++
+			if s.Fn != f {
+				continue // cross-function arcs are not part of this CFG
+			}
+			switch color[s] {
+			case white:
+				color[s] = grey
+				stack = append(stack, frame{b: s, succs: s.Succs(nil)})
+			case grey:
+				back[Edge{fr.b, s}] = true
+			}
+		}
+	}
+	if e := f.Entry(); e != nil {
+		dfs(e)
+	}
+	for _, b := range f.Blocks {
+		dfs(b)
+	}
+	return back
+}

@@ -1,0 +1,144 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder offers a compact way to construct programs in Go code. The
+// workload generator and many tests use it; hand-written sources go through
+// the assembler instead.
+//
+// A Builder tracks a current block. Emitting an instruction appends to it;
+// emitting a terminator seals it. Blocks are created up front with NewBlock
+// so forward references are easy.
+type Builder struct {
+	P *Program
+
+	fn  *Func
+	cur *Block
+}
+
+// NewBuilder returns a builder over a fresh program.
+func NewBuilder() *Builder { return &Builder{P: New()} }
+
+// Func starts a new function and returns it. Its entry block becomes
+// current.
+func (bd *Builder) Func(name string) *Func {
+	bd.fn = bd.P.AddFunc(name)
+	bd.cur = bd.P.NewBlock(bd.fn)
+	return bd.fn
+}
+
+// Main marks the current function as the program entry point.
+func (bd *Builder) Main() *Builder {
+	if bd.fn == nil {
+		panic("prog: Builder.Main before Func")
+	}
+	bd.P.Main = bd.fn
+	return bd
+}
+
+// NewBlock creates an additional block in the current function without
+// making it current (for forward branch targets).
+func (bd *Builder) NewBlock() *Block {
+	if bd.fn == nil {
+		panic("prog: Builder.NewBlock before Func")
+	}
+	return bd.P.NewBlock(bd.fn)
+}
+
+// SetBlock makes b the current block for subsequent emissions.
+func (bd *Builder) SetBlock(b *Block) *Builder {
+	if b.Fn != bd.fn {
+		panic(fmt.Sprintf("prog: Builder.SetBlock: block %s not in current function %s", b, bd.fn.Name))
+	}
+	bd.cur = b
+	return bd
+}
+
+// Cur returns the current block.
+func (bd *Builder) Cur() *Block { return bd.cur }
+
+// Emit appends a raw instruction to the current block.
+func (bd *Builder) Emit(in Ins) *Builder {
+	if bd.cur == nil {
+		panic("prog: Builder.Emit with no current block")
+	}
+	bd.cur.Insts = append(bd.cur.Insts, in)
+	return bd
+}
+
+// Op3 emits a three-register ALU or FP operation.
+func (bd *Builder) Op3(op isa.Opcode, rd, rs1, rs2 isa.Reg) *Builder {
+	return bd.Emit(Ins{Inst: isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}})
+}
+
+// OpI emits a register-immediate operation.
+func (bd *Builder) OpI(op isa.Opcode, rd, rs1 isa.Reg, imm int64) *Builder {
+	return bd.Emit(Ins{Inst: isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm}})
+}
+
+// Li emits a load-immediate.
+func (bd *Builder) Li(rd isa.Reg, imm int64) *Builder {
+	return bd.Emit(Ins{Inst: isa.Inst{Op: isa.LI, Rd: rd, Imm: imm}})
+}
+
+// Ld emits a load: rd = mem[rs1+off].
+func (bd *Builder) Ld(rd, rs1 isa.Reg, off int64) *Builder {
+	return bd.Emit(Ins{Inst: isa.Inst{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: off}})
+}
+
+// St emits a store: mem[rs1+off] = rs2.
+func (bd *Builder) St(rs2, rs1 isa.Reg, off int64) *Builder {
+	return bd.Emit(Ins{Inst: isa.Inst{Op: isa.ST, Rs1: rs1, Rs2: rs2, Imm: off}})
+}
+
+// La emits a load-address of a block.
+func (bd *Builder) La(rd isa.Reg, target *Block) *Builder {
+	return bd.Emit(Ins{Inst: isa.Inst{Op: isa.LA, Rd: rd}, BlockTarget: target})
+}
+
+// Branch seals the current block with a conditional branch and leaves no
+// current block; callers continue with SetBlock.
+func (bd *Builder) Branch(cmp isa.Opcode, rs1, rs2 isa.Reg, taken, fall *Block) {
+	if !cmp.IsCondBranch() {
+		panic(fmt.Sprintf("prog: Builder.Branch: %v is not a conditional branch", cmp))
+	}
+	b := bd.cur
+	b.Kind = TermBranch
+	b.CmpOp = cmp
+	b.Rs1, b.Rs2 = rs1, rs2
+	b.Taken, b.Next = taken, fall
+	bd.cur = nil
+}
+
+// Goto seals the current block with an unconditional transfer to target.
+func (bd *Builder) Goto(target *Block) {
+	b := bd.cur
+	b.Kind = TermFall
+	b.Next = target
+	bd.cur = nil
+}
+
+// Call seals the current block with a call to callee continuing at cont.
+func (bd *Builder) Call(callee *Func, cont *Block) {
+	b := bd.cur
+	b.Kind = TermCall
+	b.Callee = callee
+	b.Next = cont
+	bd.cur = nil
+}
+
+// Ret seals the current block with a return.
+func (bd *Builder) Ret() {
+	bd.cur.Kind = TermRet
+	bd.cur = nil
+}
+
+// Halt seals the current block with a halt.
+func (bd *Builder) Halt() {
+	bd.cur.Kind = TermHalt
+	bd.cur = nil
+}

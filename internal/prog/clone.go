@@ -1,0 +1,73 @@
+package prog
+
+import "repro/internal/isa"
+
+// Clone deep-copies the whole program: functions, blocks, arcs (including
+// cross-function package arcs), data segment and Main designation. Block
+// IDs are preserved so clones linearize identically to their originals.
+// Origin pointers are preserved as-is (they refer to blocks of this same
+// program when set by package extraction, and the clone redirects them to
+// the cloned blocks when possible).
+func (p *Program) Clone() *Program {
+	np := New()
+	np.Data = append([]int64(nil), p.Data...)
+	np.ScratchWords = p.ScratchWords
+	np.nextBlockID = p.nextBlockID
+
+	fm := make(map[*Func]*Func, len(p.Funcs))
+	bm := make(map[*Block]*Block, p.NumBlocks())
+	for _, f := range p.Funcs {
+		nf := &Func{Name: f.Name, IsPackage: f.IsPackage, PhaseID: f.PhaseID}
+		np.Funcs = append(np.Funcs, nf)
+		fm[f] = nf
+		for _, b := range f.Blocks {
+			nb := &Block{
+				ID:           b.ID,
+				Fn:           nf,
+				Insts:        append([]Ins(nil), b.Insts...),
+				Kind:         b.Kind,
+				CmpOp:        b.CmpOp,
+				Rs1:          b.Rs1,
+				Rs2:          b.Rs2,
+				ExitConsumes: append([]isa.Reg(nil), b.ExitConsumes...),
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+			bm[b] = nb
+		}
+	}
+	redirect := func(b *Block) *Block {
+		if b == nil {
+			return nil
+		}
+		if nb, ok := bm[b]; ok {
+			return nb
+		}
+		return b
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			nb := bm[b]
+			nb.Taken = redirect(b.Taken)
+			nb.Next = redirect(b.Next)
+			if b.Callee != nil {
+				if nf, ok := fm[b.Callee]; ok {
+					nb.Callee = nf
+				} else {
+					nb.Callee = b.Callee
+				}
+			}
+			if b.Origin != nil {
+				nb.Origin = redirect(b.Origin)
+			}
+			for i := range nb.Insts {
+				if bt := nb.Insts[i].BlockTarget; bt != nil {
+					nb.Insts[i].BlockTarget = redirect(bt)
+				}
+			}
+		}
+	}
+	if p.Main != nil {
+		np.Main = fm[p.Main]
+	}
+	return np
+}

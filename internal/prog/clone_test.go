@@ -1,0 +1,296 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildCallPair builds caller/callee with a package-style cross arc so
+// Clone exercises every redirect path.
+func buildCallPair(t *testing.T) *Program {
+	t.Helper()
+	bd := NewBuilder()
+	callee := bd.Func("callee")
+	calleeEntry := bd.Cur()
+	bd.OpI(isa.ADDI, 5, 5, 1)
+	bd.Ret()
+
+	bd.Func("main")
+	bd.Main()
+	cont := bd.NewBlock()
+	bd.Li(1, 7)
+	bd.Call(callee, cont)
+	bd.SetBlock(cont)
+	bd.La(6, cont)
+	bd.Halt()
+
+	// A package function with a cross-function exit arc and an origin.
+	pkg := bd.P.AddFunc("pkg")
+	pkg.IsPackage = true
+	pkg.PhaseID = 2
+	pb := bd.P.NewBlock(pkg)
+	pb.Kind = TermFall
+	pb.Next = calleeEntry
+	pb.Origin = calleeEntry
+	pb.ExitConsumes = []isa.Reg{5}
+	return bd.P
+}
+
+func TestCloneDeepCopies(t *testing.T) {
+	p := buildCallPair(t)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if err := c.Verify(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if c.Main == p.Main || c.Main == nil || c.Main.Name != "main" {
+		t.Fatal("Main not redirected")
+	}
+	if len(c.Funcs) != len(p.Funcs) {
+		t.Fatal("function count differs")
+	}
+	// Call targets redirected into the clone.
+	var cCall *Block
+	for _, b := range c.Main.Blocks {
+		if b.Kind == TermCall {
+			cCall = b
+		}
+	}
+	if cCall == nil || cCall.Callee == p.Funcs[0] || cCall.Callee.Name != "callee" {
+		t.Fatal("clone call not redirected")
+	}
+	// Package metadata, ExitConsumes and Origin preserved.
+	cp := c.FuncByName("pkg")
+	if cp == nil || !cp.IsPackage || cp.PhaseID != 2 {
+		t.Fatal("package flags lost")
+	}
+	if len(cp.Blocks[0].ExitConsumes) != 1 || cp.Blocks[0].ExitConsumes[0] != 5 {
+		t.Fatal("ExitConsumes lost")
+	}
+	if cp.Blocks[0].Origin == nil || cp.Blocks[0].Origin.Fn != c.FuncByName("callee") {
+		t.Fatal("Origin not redirected into the clone")
+	}
+	// LA block targets redirected.
+	var la *Ins
+	for _, b := range c.Main.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].Op == isa.LA {
+				la = &b.Insts[i]
+			}
+		}
+	}
+	if la == nil || la.BlockTarget == nil || la.BlockTarget.Fn != c.Main {
+		t.Fatal("LA target not redirected")
+	}
+	// Mutating the clone leaves the original untouched.
+	c.Main.Blocks[0].Insts[0].Imm = 42
+	if p.Main.Blocks[0].Insts[0].Imm == 42 {
+		t.Fatal("clone shares instruction storage")
+	}
+}
+
+func TestCloneLinearizesIdentically(t *testing.T) {
+	p := buildCallPair(t)
+	c := p.Clone()
+	i1, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := c.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i1.Code) != len(i2.Code) {
+		t.Fatalf("clone image size differs: %d vs %d", len(i1.Code), len(i2.Code))
+	}
+	for i := range i1.Code {
+		if i1.Code[i] != i2.Code[i] {
+			t.Fatalf("clone image differs at slot %d: %v vs %v", i, i1.Code[i], i2.Code[i])
+		}
+	}
+	if i1.Entry != i2.Entry {
+		t.Fatal("entry addresses differ")
+	}
+}
+
+func TestCloneDataIndependent(t *testing.T) {
+	p := buildCallPair(t)
+	p.Data = []int64{1, 2, 3}
+	c := p.Clone()
+	c.Data[0] = 99
+	if p.Data[0] == 99 {
+		t.Fatal("clone shares data segment")
+	}
+}
+
+func TestBackEdges(t *testing.T) {
+	bd := NewBuilder()
+	f := bd.Func("main")
+	bd.Main()
+	head := bd.NewBlock()
+	body := bd.NewBlock()
+	exit := bd.NewBlock()
+	bd.Goto(head)
+	bd.SetBlock(head)
+	bd.Branch(isa.BLT, 1, 2, body, exit)
+	bd.SetBlock(body)
+	bd.Goto(head) // the back edge
+	bd.SetBlock(exit)
+	bd.Halt()
+
+	back := BackEdges(f)
+	if !back[Edge{From: body, To: head}] {
+		t.Error("loop back edge not identified")
+	}
+	if back[Edge{From: head, To: body}] || back[Edge{From: f.Blocks[0], To: head}] {
+		t.Error("forward edges misclassified as back edges")
+	}
+	if len(back) != 1 {
+		t.Errorf("back edges = %d, want 1", len(back))
+	}
+}
+
+func TestBackEdgesUnreachableBlocks(t *testing.T) {
+	bd := NewBuilder()
+	f := bd.Func("main")
+	bd.Main()
+	bd.Halt()
+	// An unreachable self-loop still gets classified (visited as a root).
+	orphan := bd.P.NewBlock(f)
+	orphan.Kind = TermFall
+	orphan.Next = orphan
+	back := BackEdges(f)
+	if !back[Edge{From: orphan, To: orphan}] {
+		t.Error("self-loop on unreachable block not identified")
+	}
+}
+
+func TestProgramComputePredsCrossFunction(t *testing.T) {
+	p := buildCallPair(t)
+	p.ComputePreds()
+	calleeEntry := p.FuncByName("callee").Entry()
+	// The package's cross-function arc counts as a predecessor
+	// program-wide.
+	found := false
+	for _, pr := range calleeEntry.Preds() {
+		if pr.Fn.Name == "pkg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cross-function arc missing from program-wide preds")
+	}
+}
+
+func TestVerifyMoreErrorCases(t *testing.T) {
+	// Main not in Funcs.
+	p := New()
+	stray := &Func{Name: "stray"}
+	b := &Block{Fn: stray, Kind: TermHalt}
+	stray.Blocks = []*Block{b}
+	p.Main = stray
+	if err := p.Verify(); err == nil {
+		t.Error("Main outside Funcs should fail")
+	}
+
+	// Duplicate function object.
+	bd := NewBuilder()
+	bd.Func("main")
+	bd.Main()
+	bd.Halt()
+	bd.P.Funcs = append(bd.P.Funcs, bd.P.Funcs[0])
+	if err := bd.P.Verify(); err == nil {
+		t.Error("duplicate function should fail")
+	}
+
+	// Call block with nil continuation.
+	bd2 := NewBuilder()
+	callee := bd2.Func("callee")
+	bd2.Ret()
+	bd2.Func("main")
+	bd2.Main()
+	cont := bd2.NewBlock()
+	bd2.Call(callee, cont)
+	bd2.SetBlock(cont)
+	bd2.Halt()
+	for _, blk := range bd2.P.Main.Blocks {
+		if blk.Kind == TermCall {
+			blk.Next = nil
+		}
+	}
+	if err := bd2.P.Verify(); err == nil {
+		t.Error("call without continuation should fail")
+	}
+
+	// Branch with nil taken.
+	p3, f3 := buildDiamond(t)
+	f3.Blocks[0].Taken = nil
+	if err := p3.Verify(); err == nil {
+		t.Error("branch without taken target should fail")
+	}
+
+	// LA pointing outside the program.
+	p4, f4 := buildDiamond(t)
+	other := NewBuilder()
+	other.Func("x")
+	other.Halt()
+	f4.Blocks[0].Insts = append(f4.Blocks[0].Insts, Ins{
+		Inst:        isa.Inst{Op: isa.LA, Rd: 1},
+		BlockTarget: other.P.Funcs[0].Blocks[0],
+	})
+	if err := p4.Verify(); err == nil {
+		t.Error("LA to foreign program should fail")
+	}
+
+	// BlockTarget on a non-LA instruction.
+	p5, f5 := buildDiamond(t)
+	f5.Blocks[0].Insts[0].BlockTarget = f5.Blocks[1]
+	if err := p5.Verify(); err == nil {
+		t.Error("BlockTarget on non-LA should fail")
+	}
+
+	// Invalid register in body.
+	p6, f6 := buildDiamond(t)
+	f6.Blocks[0].Insts[0].Rd = isa.Reg(200)
+	if err := p6.Verify(); err == nil {
+		t.Error("invalid register should fail")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Main before Func", func() { NewBuilder().Main() })
+	mustPanic("NewBlock before Func", func() { NewBuilder().NewBlock() })
+	mustPanic("Emit with no block", func() {
+		bd := NewBuilder()
+		bd.Func("f")
+		bd.Halt()
+		bd.Li(1, 2)
+	})
+	mustPanic("Branch with non-branch op", func() {
+		bd := NewBuilder()
+		bd.Func("f")
+		b := bd.NewBlock()
+		bd.Branch(isa.ADD, 1, 2, b, b)
+	})
+	mustPanic("SetBlock foreign block", func() {
+		bd := NewBuilder()
+		bd.Func("f")
+		bd.Halt()
+		bd2 := NewBuilder()
+		bd2.Func("g")
+		foreign := bd2.Cur()
+		bd.Func("h")
+		bd.SetBlock(foreign)
+	})
+}

@@ -1,0 +1,150 @@
+package prog
+
+import "repro/internal/isa"
+
+// RegSet is a bitset over the architectural registers.
+type RegSet uint64
+
+// Add returns s with r included.
+func (s RegSet) Add(r isa.Reg) RegSet { return s | 1<<uint(r) }
+
+// Has reports whether r is in s.
+func (s RegSet) Has(r isa.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Union returns s ∪ t.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Remove returns s without r.
+func (s RegSet) Remove(r isa.Reg) RegSet { return s &^ (1 << uint(r)) }
+
+// Regs expands the set into a register slice, lowest-numbered first.
+func (s RegSet) Regs() []isa.Reg {
+	var out []isa.Reg
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// Liveness holds per-block live-in/live-out register sets for one function.
+type Liveness struct {
+	In  map[*Block]RegSet
+	Out map[*Block]RegSet
+}
+
+// blockUseDef computes the upward-exposed uses and the defs of a block,
+// including the terminator's compare operands and implicit RRA traffic.
+func blockUseDef(b *Block) (use, def RegSet) {
+	var scratch []isa.Reg
+	for _, in := range b.Insts {
+		scratch = in.Uses(scratch[:0])
+		for _, r := range scratch {
+			if !def.Has(r) {
+				use = use.Add(r)
+			}
+		}
+		if d, ok := in.Defs(); ok {
+			def = def.Add(d)
+		}
+	}
+	switch b.Kind {
+	case TermBranch:
+		if b.Rs1 != isa.R0 && !def.Has(b.Rs1) {
+			use = use.Add(b.Rs1)
+		}
+		if b.Rs2 != isa.R0 && !def.Has(b.Rs2) {
+			use = use.Add(b.Rs2)
+		}
+	case TermCall:
+		def = def.Add(isa.RRA)
+	case TermRet:
+		if !def.Has(isa.RRA) {
+			use = use.Add(isa.RRA)
+		}
+	case TermJumpReg:
+		if b.Rs1 != isa.R0 && !def.Has(b.Rs1) {
+			use = use.Add(b.Rs1)
+		}
+	}
+	return use, def
+}
+
+// ComputeLiveness runs backward liveness over one function's CFG. Calls are
+// treated conservatively: because VPIR has no calling convention baked into
+// the ISA, every register except RRA is assumed live across a call (the
+// callee may read anything), and return blocks are assumed to expose every
+// register to the caller. This conservatism is safe for the paper's use —
+// exit-block dummy consumers only need to over-approximate liveness so the
+// optimizer never kills a value the original cold code might read.
+func ComputeLiveness(f *Func) *Liveness {
+	lv := &Liveness{
+		In:  make(map[*Block]RegSet, len(f.Blocks)),
+		Out: make(map[*Block]RegSet, len(f.Blocks)),
+	}
+	use := make(map[*Block]RegSet, len(f.Blocks))
+	def := make(map[*Block]RegSet, len(f.Blocks))
+	var allRegs RegSet
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		allRegs = allRegs.Add(r)
+	}
+	for _, b := range f.Blocks {
+		u, d := blockUseDef(b)
+		if b.Kind == TermCall {
+			// Callee may read anything live plus its arguments; expose all.
+			u = allRegs.Remove(isa.RRA)
+		}
+		use[b], def[b] = u, d
+	}
+	// Iterate to fixpoint (reverse layout order converges fast).
+	changed := true
+	for changed {
+		changed = false
+		var succs []*Block
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			var out RegSet
+			switch b.Kind {
+			case TermRet, TermHalt, TermJumpReg:
+				if b.Kind != TermHalt {
+					out = allRegs // target unknown: anything may be read
+				}
+			default:
+				succs = b.Succs(succs[:0])
+				for _, s := range succs {
+					if s.Fn != f {
+						// Package exit or link arc: the block's dummy
+						// consumer set is the target's live-in; without
+						// one, assume everything is live.
+						if len(b.ExitConsumes) > 0 {
+							for _, r := range b.ExitConsumes {
+								out = out.Add(r)
+							}
+						} else {
+							out = out.Union(allRegs)
+						}
+						continue
+					}
+					out = out.Union(lv.In[s])
+				}
+			}
+			in := use[b].Union(out &^ def[b])
+			if out != lv.Out[b] || in != lv.In[b] {
+				lv.Out[b], lv.In[b] = out, in
+				changed = true
+			}
+		}
+	}
+	return lv
+}

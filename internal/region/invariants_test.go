@@ -1,0 +1,148 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/hsd"
+	"repro/internal/phasedb"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// profileDB profiles an image under the scaled detector, like core.Profile
+// (which tests here cannot import without a cycle).
+func profileDB(t *testing.T, img *prog.Image) *phasedb.DB {
+	t.Helper()
+	db := phasedb.New(phasedb.DefaultConfig())
+	det := hsd.New(hsd.ScaledConfig(), func(h hsd.HotSpot) { db.Record(h) })
+	m := cpu.NewMachine(img)
+	if err := m.Run(0, func(si *cpu.StepInfo) {
+		if si.Inst.Op.IsCondBranch() {
+			det.Branch(si.PC, si.Taken)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// Properties promised in DESIGN.md §6, checked over every real workload's
+// real phases:
+//
+//   - identification is deterministic,
+//   - every profiled branch block is Hot,
+//   - profiled arcs are never Unknown,
+//   - Cold inference never fires with inference disabled,
+//   - the fixpoint terminated with consistent Hot/Cold assignments
+//     (no block both ways).
+func TestRegionInvariantsOverSuite(t *testing.T) {
+	for _, b := range []string{"m88ksim", "perl", "vpr"} {
+		b := b
+		t.Run(b, func(t *testing.T) {
+			bench, err := workload.ByName(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := bench.Inputs[0]
+			in.Scale = 1
+			p := bench.Build(in)
+			img, err := p.Linearize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := profileDB(t, img)
+			for _, ph := range db.Phases {
+				for _, enable := range []bool{true, false} {
+					cfg := DefaultConfig()
+					cfg.EnableInference = enable
+					r1, err := Identify(cfg, img, ph)
+					if err != nil {
+						continue
+					}
+					r2, err := Identify(cfg, img, ph)
+					if err != nil {
+						t.Fatalf("phase %d: second identification failed: %v", ph.ID, err)
+					}
+					// Determinism.
+					if len(r1.BlockTemp) != len(r2.BlockTemp) || r1.NumHot() != r2.NumHot() {
+						t.Fatalf("phase %d: identification not deterministic", ph.ID)
+					}
+					for blk, temp := range r1.BlockTemp {
+						if r2.BlockTemp[blk] != temp {
+							t.Fatalf("phase %d: block %v temp differs across runs", ph.ID, blk)
+						}
+					}
+					// Profiled branches are Hot with known arcs.
+					for _, bs := range ph.SortedBranches() {
+						blk := img.BlockAt(bs.PC)
+						if blk == nil || img.TermAddr[blk] != bs.PC {
+							continue
+						}
+						if r1.BlockTemp[blk] != Hot {
+							t.Errorf("phase %d: profiled block %v not Hot", ph.ID, blk)
+						}
+						for _, dir := range []bool{true, false} {
+							if r1.ArcTemp[ArcKey{blk, dir}] == Unknown {
+								t.Errorf("phase %d: profiled arc of %v Unknown", ph.ID, blk)
+							}
+						}
+					}
+					// No Cold inference with inference off: every Cold block
+					// must be... there are none, since only inference makes
+					// blocks Cold.
+					if !enable && r1.InferredCold != 0 {
+						t.Errorf("phase %d: %d blocks inferred Cold with inference off",
+							ph.ID, r1.InferredCold)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Inference must be monotone relative to no-inference: everything Hot
+// without inference stays Hot with it (the rules only add knowledge).
+func TestInferenceIsMonotone(t *testing.T) {
+	bench, err := workload.ByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bench.Inputs[0]
+	in.Scale = 1
+	p := bench.Build(in)
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profileDB(t, img)
+	checked := 0
+	for _, ph := range db.Phases {
+		off := DefaultConfig()
+		off.EnableInference = false
+		off.MaxGrowBlocks = 0
+		rOff, err := Identify(off, img, ph)
+		if err != nil {
+			continue
+		}
+		on := DefaultConfig()
+		on.MaxGrowBlocks = 0
+		rOn, err := Identify(on, img, ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for blk, temp := range rOff.BlockTemp {
+			if temp == Hot && rOn.BlockTemp[blk] != Hot {
+				t.Errorf("phase %d: block %v Hot without inference but not with it", ph.ID, blk)
+			}
+		}
+		if rOn.NumHot() < rOff.NumHot() {
+			t.Errorf("phase %d: inference shrank the region: %d -> %d",
+				ph.ID, rOff.NumHot(), rOn.NumHot())
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no phases to check")
+	}
+}

@@ -1,0 +1,186 @@
+// Package report runs the evaluation suite and regenerates every table and
+// figure of the paper's §5: Table 1 (benchmarks), Table 2 (machine model),
+// Figure 8 (package coverage under the four configurations), Table 3 (code
+// expansion), Figure 9 (branch categorization) and Figure 10 (speedup).
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/phasedb"
+	"repro/internal/workload"
+)
+
+// Options configures a suite run.
+type Options struct {
+	Machine cpu.Config
+	Core    core.Config
+	// Benchmarks restricts the suite (nil = all, Table 1 order).
+	Benchmarks []string
+	// ScaleOverride forces every input's iteration scale (0 = input's own).
+	ScaleOverride int64
+	// Progress, when non-nil, receives one line per input as it finishes.
+	Progress io.Writer
+}
+
+// VariantResult is one bar of Figures 8/10 for one input.
+type VariantResult struct {
+	Variant    core.Variant
+	Coverage   float64
+	Speedup    float64
+	Growth     float64
+	Selected   float64
+	Repl       float64
+	Packages   int
+	Links      int
+	Launch     int
+	Phases     int
+	Equivalent bool
+}
+
+// InputResult aggregates one benchmark input.
+type InputResult struct {
+	Bench string
+	Input string
+	Paper string
+
+	DynInsts   uint64
+	Branches   uint64
+	Detections uint64
+	Phases     int
+
+	Base       cpu.TimingStats
+	Variants   []VariantResult
+	Categories phasedb.Categorization
+}
+
+// Full returns the result for the paper's default configuration
+// (inference + linking).
+func (ir *InputResult) Full() *VariantResult {
+	for i := range ir.Variants {
+		v := &ir.Variants[i]
+		if v.Variant.Inference && v.Variant.Linking {
+			return v
+		}
+	}
+	if len(ir.Variants) > 0 {
+		return &ir.Variants[0]
+	}
+	return nil
+}
+
+// Suite is a full evaluation run.
+type Suite struct {
+	Machine cpu.Config
+	Results []InputResult
+}
+
+// RunSuite executes the pipeline for every benchmark input and variant.
+// Each input is profiled once (collecting baseline timing in the same
+// pass); each of the four variants then packages a fresh clone and is
+// timed.
+func RunSuite(opts Options) (*Suite, error) {
+	benches := workload.Ordered()
+	if len(opts.Benchmarks) > 0 {
+		var sel []*workload.Benchmark
+		for _, name := range opts.Benchmarks {
+			b, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			sel = append(sel, b)
+		}
+		benches = sel
+	}
+	suite := &Suite{Machine: opts.Machine}
+	for _, b := range benches {
+		for _, in := range b.Inputs {
+			if opts.ScaleOverride > 0 {
+				in.Scale = opts.ScaleOverride
+			}
+			ir, err := runInput(opts, b, in)
+			if err != nil {
+				return nil, fmt.Errorf("report: %s/%s: %w", b.Name, in.Name, err)
+			}
+			suite.Results = append(suite.Results, *ir)
+			if opts.Progress != nil {
+				full := ir.Full()
+				fmt.Fprintf(opts.Progress, "%-9s %s  %8d insts  %2d phases  cov %5.1f%%  speedup %.3f\n",
+					b.Name, in.Name, ir.DynInsts, ir.Phases, full.Coverage*100, full.Speedup)
+			}
+		}
+	}
+	return suite, nil
+}
+
+func runInput(opts Options, b *workload.Benchmark, in workload.Input) (*InputResult, error) {
+	p := b.Build(in)
+	img, err := p.Linearize()
+	if err != nil {
+		return nil, err
+	}
+	// One pass: HSD profile + baseline timing.
+	timing := cpu.NewTiming(opts.Machine, img)
+	db, st, err := core.Profile(opts.Core, img, timing.Observe)
+	if err != nil {
+		return nil, err
+	}
+	base := timing.Finish()
+
+	ir := &InputResult{
+		Bench:      b.Name,
+		Input:      in.Name,
+		Paper:      b.Paper,
+		DynInsts:   st.Insts,
+		Branches:   st.Branches,
+		Detections: st.Detections,
+		Phases:     len(db.Phases),
+		Base:       base,
+		Categories: db.Categorize(),
+	}
+
+	for _, v := range core.Variants() {
+		cfg := v.Apply(opts.Core)
+		clone := p.Clone()
+		// The clone linearizes identically to the profiled program (IDs
+		// and layout are preserved), so the phase database's PCs map onto
+		// the clone's own image.
+		cloneImg, err := clone.Linearize()
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.Name(), err)
+		}
+		out := &core.Outcome{Original: p, Packed: clone, DB: db}
+		if err := core.Package(cfg, out, clone, cloneImg, db); err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.Name(), err)
+		}
+		packedImg, err := clone.Linearize()
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.Name(), err)
+		}
+		stats, m, err := cpu.RunTimed(opts.Machine, packedImg, 0)
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: timed run: %w", v.Name(), err)
+		}
+		h, n := m.DataHash()
+		vr := VariantResult{
+			Variant:    v,
+			Coverage:   stats.PackageCoverage(),
+			Growth:     out.Pack.CodeGrowth(),
+			Selected:   out.Pack.SelectedFraction(),
+			Repl:       out.Pack.Replication(),
+			Packages:   len(out.Pack.Packages),
+			Links:      out.Pack.Links,
+			Launch:     out.Pack.LaunchPoints,
+			Phases:     len(out.Regions),
+			Equivalent: h == st.DataHash && n == st.DataStores,
+		}
+		if stats.Cycles > 0 {
+			vr.Speedup = float64(base.Cycles) / float64(stats.Cycles)
+		}
+		ir.Variants = append(ir.Variants, vr)
+	}
+	return ir, nil
+}

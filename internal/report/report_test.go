@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// runSmallSuite runs two benchmarks at scale 1 and caches the result across
+// subtests.
+func runSmallSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := RunSuite(Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		Benchmarks:    []string{"m88ksim", "perl"},
+		ScaleOverride: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunSuiteSubset(t *testing.T) {
+	s := runSmallSuite(t)
+	// m88ksim has 1 input, perl has 3.
+	if len(s.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(s.Results))
+	}
+	for _, r := range s.Results {
+		if r.DynInsts == 0 || r.Branches == 0 {
+			t.Errorf("%s/%s: empty profile", r.Bench, r.Input)
+		}
+		if len(r.Variants) != 4 {
+			t.Fatalf("%s/%s: %d variants, want 4", r.Bench, r.Input, len(r.Variants))
+		}
+		for _, v := range r.Variants {
+			if !v.Equivalent {
+				t.Errorf("%s/%s %s: diverged", r.Bench, r.Input, v.Variant.Name())
+			}
+			if v.Coverage <= 0 || v.Coverage > 1 {
+				t.Errorf("%s/%s: coverage %v out of range", r.Bench, r.Input, v.Coverage)
+			}
+			if v.Speedup <= 0.5 || v.Speedup > 2 {
+				t.Errorf("%s/%s: speedup %v implausible", r.Bench, r.Input, v.Speedup)
+			}
+		}
+		full := r.Full()
+		if full == nil || !full.Variant.Inference || !full.Variant.Linking {
+			t.Error("Full() did not return the inference+linking variant")
+		}
+	}
+	// m88ksim's linking gain must be visible through the harness too.
+	m := s.Results[0]
+	if m.Bench != "m88ksim" {
+		t.Fatalf("first result = %s, want m88ksim", m.Bench)
+	}
+	noLink := m.Variants[2] // inf, no link
+	link := m.Variants[3]   // inf + link
+	if link.Coverage <= noLink.Coverage {
+		t.Errorf("linking should raise m88ksim coverage: %.2f vs %.2f", link.Coverage, noLink.Coverage)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	s := runSmallSuite(t)
+	t1 := s.Table1()
+	if !strings.Contains(t1, "m88ksim") || !strings.Contains(t1, "# of Inst") {
+		t.Error("Table1 malformed")
+	}
+	t2 := Table2(cpu.DefaultConfig())
+	for _, want := range []string{"8 units", "512 KB", "gshare", "1024 entry"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+	f8 := s.Figure8()
+	if !strings.Contains(f8, "noInf/noLink") || !strings.Contains(f8, "average") {
+		t.Error("Figure8 malformed")
+	}
+	t3 := s.Table3()
+	if !strings.Contains(t3, "Replication") {
+		t.Error("Table3 malformed")
+	}
+	f9 := s.Figure9()
+	if !strings.Contains(f9, "Multi High") {
+		t.Error("Figure9 malformed")
+	}
+	f10 := s.Figure10()
+	if !strings.Contains(f10, "functionally equivalent") {
+		t.Error("Figure10 should confirm equivalence")
+	}
+}
+
+func TestRunSuiteUnknownBenchmark(t *testing.T) {
+	_, err := RunSuite(Options{
+		Machine:    cpu.DefaultConfig(),
+		Core:       core.ScaledConfig(),
+		Benchmarks: []string{"nope"},
+	})
+	if err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(0.5, 10) != "#####....." {
+		t.Errorf("bar(0.5,10) = %q", bar(0.5, 10))
+	}
+	if bar(-1, 4) != "...." || bar(2, 4) != "####" {
+		t.Error("bar clamping wrong")
+	}
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/phasedb"
+	"repro/internal/prog"
+)
+
+// Trace growth with call inlining, the way Dynamo-class systems form
+// interprocedural traces: a call continues the trace into the callee (the
+// return address is materialized so side exits still come back), and the
+// callee's return continues at the call's continuation.
+
+// stepKind describes how a path element transfers to its successor.
+type stepKind uint8
+
+const (
+	stepPlain      stepKind = iota // fall/branch following the chosen arc
+	stepInlineCall                 // call followed into the callee
+	stepInlineRet                  // return rejoining the pending continuation
+)
+
+type pathStep struct {
+	ob   *prog.Block
+	kind stepKind
+	// For stepInlineCall: the original continuation block and, once the
+	// path is complete, the path index holding its copy (-1 if the trace
+	// ended inside the callee).
+	contOrig *prog.Block
+	contIdx  int
+}
+
+type pendingCont struct {
+	contOrig *prog.Block
+	callIdx  int
+}
+
+// selectPath grows the trace path from seed, following dominant branch
+// directions and inlining through calls up to maxDepth.
+func selectPath(cfg Config, seedBlk *prog.Block, stats map[*prog.Block]phasedb.BranchStat) (path []pathStep, loops bool) {
+	const maxDepth = 4
+	onPath := make(map[*prog.Block]bool)
+	var stack []pendingCont
+	cur := seedBlk
+	for cur != nil && len(path) < cfg.MaxBlocks && !onPath[cur] {
+		idx := len(path)
+		path = append(path, pathStep{ob: cur, kind: stepPlain, contIdx: -1})
+		onPath[cur] = true
+
+		next := (*prog.Block)(nil)
+		switch cur.Kind {
+		case prog.TermFall:
+			next = cur.Next
+		case prog.TermBranch:
+			bs, ok := stats[cur]
+			if ok && bs.Exec > 0 {
+				frac := bs.TakenFraction()
+				switch {
+				case frac >= cfg.FollowThreshold:
+					next = cur.Taken
+				case 1-frac >= cfg.FollowThreshold:
+					next = cur.Next
+				}
+			}
+		case prog.TermCall:
+			if len(stack) < maxDepth && cur.Callee != nil && cur.Callee.Entry() != nil &&
+				!onPath[cur.Callee.Entry()] {
+				path[idx].kind = stepInlineCall
+				path[idx].contOrig = cur.Next
+				stack = append(stack, pendingCont{contOrig: cur.Next, callIdx: idx})
+				next = cur.Callee.Entry()
+			}
+		case prog.TermRet:
+			if len(stack) > 0 {
+				pc := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				path[idx].kind = stepInlineRet
+				path[idx].contOrig = pc.contOrig
+				path[pc.callIdx].contIdx = len(path) // the continuation comes next
+				next = pc.contOrig
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next == seedBlk && len(stack) == 0 {
+			loops = true
+			break
+		}
+		if next.Fn != cur.Fn && path[idx].kind == stepPlain {
+			break // never follow stray cross-function arcs
+		}
+		cur = next
+	}
+	return path, loops
+}
+
+// deployPath materializes the selected path as a trace function.
+func deployPath(p *prog.Program, seedBlk *prog.Block, path []pathStep, loops bool, lv *prog.Liveness, livenessOf func(*prog.Func) *prog.Liveness) *Trace {
+	fn := p.AddFunc(fmt.Sprintf("%s.trace.b%d", seedBlk.Fn.Name, seedBlk.ID))
+	fn.IsPackage = true
+
+	copies := make([]*prog.Block, len(path))
+	for i, st := range path {
+		cb := &prog.Block{
+			Insts:  append([]prog.Ins(nil), st.ob.Insts...),
+			Kind:   st.ob.Kind,
+			CmpOp:  st.ob.CmpOp,
+			Rs1:    st.ob.Rs1,
+			Rs2:    st.ob.Rs2,
+			Origin: prog.OriginRoot(st.ob),
+		}
+		p.AdoptBlock(fn, cb)
+		copies[i] = cb
+	}
+	exitTo := func(origin *prog.Block, target *prog.Block) *prog.Block {
+		eb := &prog.Block{
+			Kind:         prog.TermFall,
+			Next:         target,
+			ExitConsumes: livenessOf(target.Fn).In[target].Regs(),
+			Origin:       prog.OriginRoot(origin),
+		}
+		p.AdoptBlock(fn, eb)
+		return eb
+	}
+	succCopy := func(i int) *prog.Block {
+		if i+1 < len(path) {
+			return copies[i+1]
+		}
+		if loops {
+			return copies[0]
+		}
+		return nil
+	}
+	for i, st := range path {
+		cb := copies[i]
+		ob := st.ob
+		switch st.kind {
+		case stepInlineCall:
+			// Materialize the return address: side exits inside the inlined
+			// callee run original callee code, whose return comes back here.
+			var cont *prog.Block
+			var contIns prog.Ins
+			if st.contIdx >= 0 && st.contIdx < len(path) {
+				cont = copies[st.contIdx]
+				contIns = prog.Ins{Inst: isa.Inst{Op: isa.LA, Rd: isa.RRA}, BlockTarget: cont}
+			} else {
+				contIns = prog.Ins{Inst: isa.Inst{Op: isa.LA, Rd: isa.RRA}, BlockTarget: ob.Next}
+			}
+			cb.Insts = append(cb.Insts, contIns)
+			cb.Kind = prog.TermFall
+			cb.Callee = nil
+			cb.Next = succCopy(i) // the callee's entry copy
+		case stepInlineRet:
+			cb.Kind = prog.TermFall
+			if s := succCopy(i); s != nil {
+				cb.Next = s // the pending continuation copy
+			} else {
+				cb.Next = st.contOrig // trace ended: rejoin original code
+			}
+		default:
+			switch ob.Kind {
+			case prog.TermFall:
+				if s := succCopy(i); s != nil {
+					cb.Next = s
+				} else {
+					cb.Next = ob.Next // off-trace transfer to original code
+				}
+			case prog.TermBranch:
+				s := succCopy(i)
+				if s == nil {
+					cb.Taken = exitTo(ob, ob.Taken)
+					cb.Next = exitTo(ob, ob.Next)
+					break
+				}
+				if prog.OriginRoot(s) == prog.OriginRoot(ob.Taken) {
+					cb.Taken = s
+					cb.Next = exitTo(ob, ob.Next)
+				} else {
+					cb.Next = s
+					cb.Taken = exitTo(ob, ob.Taken)
+				}
+			case prog.TermCall:
+				// Un-inlined call: it ends the trace; execution returns to
+				// original code after the callee.
+				cb.Callee = ob.Callee
+				cb.Next = exitTo(ob, ob.Next)
+			case prog.TermRet, prog.TermHalt:
+				// kept as-is: trace ends here
+			}
+		}
+	}
+	_ = lv
+	return &Trace{Fn: fn, Seed: seedBlk, Blocks: len(path), Loops: loops}
+}

@@ -1,0 +1,715 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Input names one benchmark input row of Table 1.
+type Input struct {
+	Name  string // "A", "B", "C"
+	Scale int64  // iteration multiplier relative to the base script
+	Seed  int64
+}
+
+// Benchmark is one named workload of the suite.
+type Benchmark struct {
+	Name string
+	// Paper is the Table 1 row this workload stands in for.
+	Paper  string
+	Inputs []Input
+	build  func(scale, seed int64) *prog.Program
+}
+
+// Build synthesizes the program for one input.
+func (b *Benchmark) Build(in Input) *prog.Program {
+	scale := in.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	seed := in.Seed
+	if seed == 0 {
+		seed = 0x1e3779b97f4a7c15
+	}
+	return b.build(scale, seed)
+}
+
+// InputByName finds an input row.
+func (b *Benchmark) InputByName(name string) (Input, error) {
+	for _, in := range b.Inputs {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Input{}, fmt.Errorf("workload: %s has no input %q", b.Name, name)
+}
+
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("workload: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// ByName returns a registered benchmark.
+func ByName(name string) (*Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// All returns the suite sorted by name.
+func All() []*Benchmark {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Benchmark, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Ordered returns the suite in the paper's Table 1 order.
+func Ordered() []*Benchmark {
+	order := []string{
+		"go", "m88ksim", "li", "ijpeg", "gzip", "vpr", "mcf",
+		"perl", "vortex", "parser", "twolf", "mpeg2dec",
+	}
+	out := make([]*Benchmark, 0, len(order))
+	for _, n := range order {
+		if b, ok := registry[n]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func inputs(scales ...int64) []Input {
+	names := []string{"A", "B", "C"}
+	out := make([]Input, len(scales))
+	for i, s := range scales {
+		out[i] = Input{Name: names[i], Scale: s, Seed: int64(0x1234567+i*7919) | 1}
+	}
+	return out
+}
+
+func init() {
+	register(&Benchmark{Name: "go", Paper: "099.go (SPEC Train)", Inputs: inputs(2), build: buildGo})
+	register(&Benchmark{Name: "m88ksim", Paper: "124.m88ksim (SPEC Train)", Inputs: inputs(1), build: buildM88ksim})
+	register(&Benchmark{Name: "li", Paper: "130.li (Train / 6 Queens / Reduced Ref)", Inputs: inputs(1, 1, 2), build: buildLi})
+	register(&Benchmark{Name: "ijpeg", Paper: "132.ijpeg (Train / Faces / Scenery)", Inputs: inputs(2, 1, 1), build: buildIjpeg})
+	register(&Benchmark{Name: "gzip", Paper: "164.gzip (SPEC Train)", Inputs: inputs(2), build: buildGzip})
+	register(&Benchmark{Name: "vpr", Paper: "175.vpr (SPEC Test)", Inputs: inputs(2), build: buildVpr})
+	register(&Benchmark{Name: "mcf", Paper: "181.mcf (SPEC Test)", Inputs: inputs(1), build: buildMcf})
+	register(&Benchmark{Name: "perl", Paper: "134.perl (Train 1/2/3)", Inputs: inputs(2, 1, 1), build: buildPerl})
+	register(&Benchmark{Name: "vortex", Paper: "255.vortex (UMN_sm_red / UMN_md_red)", Inputs: inputs(1, 2), build: buildVortex})
+	register(&Benchmark{Name: "parser", Paper: "197.parser (UMN_sm_red)", Inputs: inputs(1), build: buildParser})
+	register(&Benchmark{Name: "twolf", Paper: "300.twolf (UMN_sm_red)", Inputs: inputs(1), build: buildTwolf})
+	register(&Benchmark{Name: "mpeg2dec", Paper: "mpeg2dec (Media Train)", Inputs: inputs(1), build: buildMpeg2dec})
+}
+
+// Every benchmark follows the architecture real post-link targets have:
+//
+//   - one or more *driver* functions own the hot outer loop and call the
+//     phase's worker functions. Packages root at the drivers and partially
+//     inline the workers, so side exits from inlined code return into the
+//     package through the materialized return address;
+//   - workers run a short inner loop with data-driven decision diamonds and
+//     *sporadic* calls (gate probability below the Hot-arc weight
+//     threshold) into straight-line cold bodies — the dynamic cold tail
+//     that keeps coverage below 100%;
+//   - a bulk "library" of never-hot functions supplies the static code mass
+//     that makes Table 3's selected-fraction realistic, and an init call
+//     pays a one-time cold startup cost.
+
+// coldTail builds n sporadic cold bodies and returns gated callees for
+// them. Gates stay well below the Hot-arc weight threshold so the calls
+// remain package exits, and splitting the tail across several bodies keeps
+// each body's branches below BBB candidacy.
+func coldTail(w *W, prefix string, n, size int, gate int64, arr, words int64) []Callee {
+	out := make([]Callee, n)
+	for i := range out {
+		out[i] = Callee{
+			Fn:   w.ColdBody(fmt.Sprintf("%s%d", prefix, i), size, arr, words),
+			Gate: w.NewParam(gate),
+		}
+	}
+	return out
+}
+
+// --- individual benchmark builders -----------------------------------------
+
+// buildGo models 099.go: a wide evaluator set with a large static branch
+// working set and two phases (opening vs. endgame) weighting the
+// evaluators differently.
+func buildGo(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(1024)
+	arr2 := w.NewArray(1024)
+	lib := w.Bulk("golib", 22, 260, arr2, 1024)
+
+	var evals []*prog.Func
+	for i := 0; i < 5; i++ {
+		tail := coldTail(w, fmt.Sprintf("gorare%d_", i), 3, 1200, 13, arr2, 1024)
+		evals = append(evals, w.Worker(fmt.Sprintf("eval%d", i), FuncOpts{
+			Decisions: []Param{w.NewParam(500), w.NewParam(300), w.NewParam(700)},
+			ArrayA:    arr, ArrayB: arr2, ArrayWords: 1024, ALUWork: 2,
+			Callees:   tail,
+			IterParam: w.NewParam(3),
+		}))
+	}
+	gates := make([]Param, len(evals))
+	callees := make([]Callee, len(evals))
+	for i, e := range evals {
+		gates[i] = w.NewParam(500)
+		callees[i] = Callee{Fn: e, Gate: gates[i]}
+	}
+	drvIt := w.NewParam(0)
+	search := w.Worker("search", FuncOpts{
+		Decisions: []Param{w.NewParam(600)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 1024, ALUWork: 1,
+		Callees: callees, IterParam: drvIt,
+	})
+
+	n := 900 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib),
+			SetP(gates[0], 950), SetP(gates[1], 900), SetP(gates[2], 120),
+			SetP(gates[3], 80), SetP(gates[4], 60)},
+			w.DriverBurst(drvIt, n, search)...),
+		append([]PhaseStep{SetP(gates[0], 70), SetP(gates[1], 100), SetP(gates[2], 930),
+			SetP(gates[3], 900), SetP(gates[4], 860)},
+			w.DriverBurst(drvIt, n, search)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildM88ksim models 124.m88ksim: a simulator root whose two phases —
+// loading a binary, then simulating it — share one launch point with
+// flipped path biases; package linking is what makes the second phase's
+// package reachable (§5.1).
+func buildM88ksim(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(512)
+	arr2 := w.NewArray(512)
+	lib := w.Bulk("simlib", 20, 280, arr, 512)
+
+	loader := w.Worker("loadword", FuncOpts{
+		Decisions: []Param{w.NewParam(850), w.NewParam(100), w.NewParam(640), w.NewParam(320)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 512, ALUWork: 2,
+		Callees:   coldTail(w, "reloc", 1, 600, 9, arr2, 512),
+		IterParam: w.NewParam(3),
+	})
+	executor := w.Worker("execinst", FuncOpts{
+		Decisions: []Param{w.NewParam(200), w.NewParam(900), w.NewParam(420), w.NewParam(760)},
+		ArrayA:    arr2, ArrayB: arr, ArrayWords: 512, ALUWork: 3,
+		Callees:   coldTail(w, "trap", 1, 600, 9, arr, 512),
+		IterParam: w.NewParam(3),
+	})
+
+	gLoad, gExec := w.NewParam(0), w.NewParam(0)
+	mode := w.NewParam(500)
+	rootIt := w.NewParam(0)
+	root := w.Worker("simulate", FuncOpts{
+		Decisions: []Param{mode},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 512, ALUWork: 1,
+		Callees:   []Callee{{Fn: loader, Gate: gLoad}, {Fn: executor, Gate: gExec}},
+		IterParam: rootIt,
+	})
+
+	n := 1300 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib),
+			SetP(gLoad, 1000), SetP(gExec, 0), SetP(mode, 920)},
+			w.DriverBurst(rootIt, n, root)...),
+		append([]PhaseStep{SetP(gLoad, 0), SetP(gExec, 1000), SetP(mode, 70)},
+			w.DriverBurst(rootIt, 2*n, root)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildLi models 130.li's weak-caller pathology (§5.1): `eval` is hot and
+// gets inlined into the one caller hot enough to be detected; the weak
+// callers' invocations keep running original code, costing ~10% coverage.
+func buildLi(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(256)
+	arr2 := w.NewArray(256)
+	lib := w.Bulk("lilib", 18, 260, arr, 256)
+
+	// eval is heavy per call so the weak callers' traffic is a real slice
+	// of execution even though each weak caller only runs a handful of
+	// times per BBB window.
+	eval := w.Worker("eval", FuncOpts{
+		Decisions: []Param{w.NewParam(750), w.NewParam(300), w.NewParam(500)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 256, ALUWork: 2,
+		Callees:   coldTail(w, "gc", 1, 500, 9, arr2, 256),
+		IterParam: w.NewParam(6),
+	})
+	always := w.NewParam(1000)
+	hotIt := w.NewParam(0)
+	hot := w.Worker("applyhot", FuncOpts{
+		Decisions: []Param{w.NewParam(800)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 256, ALUWork: 1,
+		Callees:   []Callee{{Fn: eval, Gate: always}},
+		IterParam: hotIt,
+	})
+	// Weak callers: straight-line wrappers that call eval exactly once, so
+	// their own branches execute far too rarely for BBB candidacy no
+	// matter how the slices align with detection windows (§5.1's 130.li).
+	bd := w.BD
+	mkWeak := func(name string) *prog.Func {
+		fn := bd.Func(name)
+		bd.OpI(isa.ADDI, isa.RSP, isa.RSP, -16)
+		bd.St(isa.RRA, isa.RSP, 0)
+		w.ArrayTouch(arr2, 256, 2)
+		w.Accumulate()
+		cont := bd.NewBlock()
+		bd.Call(eval, cont)
+		bd.SetBlock(cont)
+		bd.Ld(isa.RRA, isa.RSP, 0)
+		bd.OpI(isa.ADDI, isa.RSP, isa.RSP, 16)
+		bd.Ret()
+		return fn
+	}
+	weak1 := mkWeak("applyweak1")
+	weak2 := mkWeak("applyweak2")
+	weak3 := mkWeak("applyweak3")
+
+	n := 16 * scale
+	script := []PhaseStep{CallF(lib)}
+	for i := int64(0); i < 24; i++ {
+		script = append(script,
+			SetP(hotIt, n), CallF(hot),
+			CallF(weak1), CallF(weak2),
+			SetP(hotIt, n), CallF(hot),
+			CallF(weak3),
+		)
+	}
+	w.MainOf([][]PhaseStep{script})
+	return w.Finish(seed)
+}
+
+// buildIjpeg models 132.ijpeg: a three-stage pipeline (DCT, quantization,
+// entropy coding) where each stage dominates its own phase; the stages
+// have separate drivers, so packages are disjoint and coverage is high in
+// every configuration.
+func buildIjpeg(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(2048)
+	arr2 := w.NewArray(2048)
+	lib := w.Bulk("jpglib", 24, 280, arr, 2048)
+
+	mkStage := func(name string, fp bool, d1, d2 int64) (*prog.Func, Param) {
+		work := w.Worker(name, FuncOpts{
+			Decisions: []Param{w.NewParam(d1), w.NewParam(d2)},
+			ArrayA:    arr, ArrayB: arr2, ArrayWords: 2048, ALUWork: 2, FP: fp,
+			Callees:   coldTail(w, name+"marker", 1, 700, 9, arr2, 2048),
+			IterParam: w.NewParam(3),
+		})
+		it := w.NewParam(0)
+		drv := w.Worker(name+"drv", FuncOpts{
+			ArrayA: arr, ArrayB: arr2, ArrayWords: 2048, ALUWork: 1,
+			Callees:   []Callee{{Fn: work, Gate: w.NewParam(1000)}},
+			IterParam: it,
+		})
+		return drv, it
+	}
+	dct, dctIt := mkStage("dct", true, 900, 850)
+	quant, quantIt := mkStage("quant", false, 150, 500)
+	enc, encIt := mkStage("encode", false, 650, 350)
+
+	n := 1100 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib)},
+			w.DriverBurst(dctIt, n, dct)...),
+		w.DriverBurst(quantIt, n, quant),
+		w.DriverBurst(encIt, n, enc),
+	})
+	return w.Finish(seed)
+}
+
+// buildGzip models 164.gzip: compress and decompress phases sharing a hot
+// checksum helper, with an unbiased match-finding branch in the compressor.
+func buildGzip(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(4096)
+	arr2 := w.NewArray(4096)
+	lib := w.Bulk("zliblib", 20, 300, arr, 4096)
+
+	crc := w.Worker("crc32", FuncOpts{
+		Decisions: []Param{w.NewParam(500)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 4096, ALUWork: 1,
+		IterParam: w.NewParam(2),
+	})
+	always := w.NewParam(1000)
+	deflate := w.Worker("deflate", FuncOpts{
+		Decisions: []Param{w.NewParam(480), w.NewParam(700), w.NewParam(250)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 4096, ALUWork: 2,
+		Callees: append([]Callee{{Fn: crc, Gate: always}},
+			coldTail(w, "flushblock", 2, 900, 11, arr2, 4096)...),
+		IterParam: w.NewParam(3),
+	})
+	inflate := w.Worker("inflate", FuncOpts{
+		Decisions: []Param{w.NewParam(880), w.NewParam(120)},
+		ArrayA:    arr2, ArrayB: arr, ArrayWords: 4096, ALUWork: 1,
+		Callees: append([]Callee{{Fn: crc, Gate: always}},
+			coldTail(w, "huffbuild", 1, 900, 11, arr, 4096)...),
+		IterParam: w.NewParam(3),
+	})
+	gDef, gInf := w.NewParam(0), w.NewParam(0)
+	it := w.NewParam(0)
+	zdrv := w.Worker("zipmain", FuncOpts{
+		ArrayA: arr, ArrayB: arr2, ArrayWords: 4096, ALUWork: 1,
+		Callees:   []Callee{{Fn: deflate, Gate: gDef}, {Fn: inflate, Gate: gInf}},
+		IterParam: it,
+	})
+
+	n := 1000 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib), SetP(gDef, 1000), SetP(gInf, 0)},
+			w.DriverBurst(it, n, zdrv)...),
+		append([]PhaseStep{SetP(gDef, 0), SetP(gInf, 1000)},
+			w.DriverBurst(it, 2*n, zdrv)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildVpr models 175.vpr: place then route phases with nested rare
+// branches that miss BBB candidacy although their surroundings are hot —
+// the workload where temperature inference visibly lifts coverage (§5.1).
+func buildVpr(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(2048)
+	arr2 := w.NewArray(2048)
+	lib := w.Bulk("vprlib", 22, 280, arr, 2048)
+	guardP := w.NewParam(15) // 1.5% fixup rate on every guard
+
+	// Guard-dense workers give vpr's phases a branch working set large
+	// enough to contend for BBB sets — the situation where temperature
+	// inference visibly lifts coverage (§5.1).
+	mkW := func(name string, d1, d2, d3 int64, a, b int64) *prog.Func {
+		return w.Worker(name, FuncOpts{
+			Decisions: []Param{w.NewParam(d1), w.NewParam(d2), w.NewParam(d3)},
+			Nested:    []Param{w.NewParam(500)},
+			Guards:    32, GuardProb: guardP,
+			ArrayA: a, ArrayB: b, ArrayWords: 2048, ALUWork: 1,
+			Callees:   coldTail(w, name+"rip", 1, 800, 10, arr2, 2048),
+			IterParam: w.NewParam(1),
+		})
+	}
+	placers := []*prog.Func{
+		mkW("placemove", 600, 400, 750, arr, arr2),
+		mkW("placecost", 550, 320, 810, arr2, arr),
+		mkW("placeswap", 480, 700, 240, arr, arr2),
+		mkW("placeanneal", 660, 380, 520, arr2, arr),
+	}
+	routers := []*prog.Func{
+		mkW("routenet", 820, 180, 550, arr2, arr),
+		mkW("routeexpand", 740, 260, 480, arr, arr2),
+		mkW("routecost", 380, 640, 590, arr2, arr),
+		mkW("routeback", 560, 440, 700, arr, arr2),
+	}
+	var callees []Callee
+	var gP, gR []Param
+	for _, f := range placers {
+		g := w.NewParam(0)
+		gP = append(gP, g)
+		callees = append(callees, Callee{Fn: f, Gate: g})
+	}
+	for _, f := range routers {
+		g := w.NewParam(0)
+		gR = append(gR, g)
+		callees = append(callees, Callee{Fn: f, Gate: g})
+	}
+	it := w.NewParam(0)
+	drv := w.Worker("vprmain", FuncOpts{
+		ArrayA: arr, ArrayB: arr2, ArrayWords: 2048, ALUWork: 1,
+		Callees:   callees,
+		IterParam: it,
+	})
+
+	n := 420 * scale
+	ph1 := []PhaseStep{CallF(lib)}
+	ph2 := []PhaseStep{}
+	for _, g := range gP {
+		ph1 = append(ph1, SetP(g, 1000))
+		ph2 = append(ph2, SetP(g, 0))
+	}
+	for _, g := range gR {
+		ph1 = append(ph1, SetP(g, 0))
+		ph2 = append(ph2, SetP(g, 1000))
+	}
+	ph1 = append(ph1, w.DriverBurst(it, n, drv)...)
+	ph2 = append(ph2, w.DriverBurst(it, n, drv)...)
+	w.MainOf([][]PhaseStep{ph1, ph2})
+	return w.Finish(seed)
+}
+
+// buildMcf models 181.mcf: a network-simplex loop over large arrays whose
+// pricing mode flips between phases while the loop skeleton — and launch
+// point — stays the same: the clean linking-benefit case.
+func buildMcf(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(16384)
+	arr2 := w.NewArray(16384)
+	lib := w.Bulk("mcflib", 16, 300, arr, 16384)
+
+	m1, m2, m3, m4 := w.NewParam(500), w.NewParam(500), w.NewParam(500), w.NewParam(500)
+	price := w.Worker("pricearcs", FuncOpts{
+		Decisions: []Param{m1, m2, m3, m4},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 16384, ALUWork: 2,
+		Callees:   coldTail(w, "refreshtree", 1, 700, 9, arr2, 16384),
+		IterParam: w.NewParam(3),
+	})
+	it := w.NewParam(0)
+	simplex := w.Worker("simplex", FuncOpts{
+		ArrayA: arr, ArrayB: arr2, ArrayWords: 16384, ALUWork: 1,
+		Callees:   []Callee{{Fn: price, Gate: w.NewParam(1000)}},
+		IterParam: it,
+	})
+
+	n := 1300 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib), SetP(m1, 900), SetP(m2, 120), SetP(m3, 840), SetP(m4, 200)},
+			w.DriverBurst(it, n, simplex)...),
+		append([]PhaseStep{SetP(m1, 100), SetP(m2, 880), SetP(m3, 160), SetP(m4, 800)},
+			w.DriverBurst(it, n, simplex)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildPerl models 134.perl: a command-interpreter dispatcher whose phases
+// shift the command mix; several packages share the dispatcher root — the
+// paper's §3.3.4 running example.
+func buildPerl(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(1024)
+	arr2 := w.NewArray(1024)
+	lib := w.Bulk("perllib", 24, 280, arr, 1024)
+
+	mk := func(name string, d1v, d2v int64, tails int) *prog.Func {
+		return w.Worker(name, FuncOpts{
+			Decisions: []Param{w.NewParam(d1v), w.NewParam(d2v)},
+			ArrayA:    arr, ArrayB: arr2, ArrayWords: 1024, ALUWork: 2,
+			Callees:   coldTail(w, name+"cold", tails, 1000, 12, arr2, 1024),
+			IterParam: w.NewParam(3),
+		})
+	}
+	hStr := mk("dostring", 800, 300, 2)
+	hNum := mk("donumeric", 200, 700, 1)
+	hIO := mk("doio", 550, 450, 2)
+
+	cut1, cut2 := w.NewParam(333), w.NewParam(666)
+	iters := w.NewParam(0)
+	interp := w.Dispatcher("interp", iters, []Param{cut1, cut2}, []*prog.Func{hStr, hNum, hIO})
+
+	n := 1100 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib), SetP(cut1, 900), SetP(cut2, 950)},
+			w.DriverBurst(iters, n, interp)...),
+		append([]PhaseStep{SetP(cut1, 50), SetP(cut2, 900)},
+			w.DriverBurst(iters, n, interp)...),
+		append([]PhaseStep{SetP(cut1, 50), SetP(cut2, 100)},
+			w.DriverBurst(iters, n, interp)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildVortex models 255.vortex: an object store with insert, lookup and
+// delete phases over shared access helpers.
+func buildVortex(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(8192)
+	arr2 := w.NewArray(8192)
+	lib := w.Bulk("vtxlib", 26, 300, arr, 8192)
+
+	hash := w.Worker("hashkey", FuncOpts{
+		Decisions: []Param{w.NewParam(500)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 8192, ALUWork: 1,
+		IterParam: w.NewParam(2),
+	})
+	always := w.NewParam(1000)
+	mkOp := func(name string, b1, b2 int64, tails int) *prog.Func {
+		return w.Worker(name, FuncOpts{
+			Decisions: []Param{w.NewParam(b1), w.NewParam(b2)},
+			ArrayA:    arr, ArrayB: arr2, ArrayWords: 8192, ALUWork: 2,
+			Callees: append([]Callee{{Fn: hash, Gate: always}},
+				coldTail(w, name+"cold", tails, 1200, 12, arr2, 8192)...),
+			IterParam: w.NewParam(3),
+		})
+	}
+	ins := mkOp("insert", 850, 200, 3)
+	look := mkOp("lookup", 300, 900, 2)
+	del := mkOp("delete", 600, 400, 3)
+
+	gI, gL, gD := w.NewParam(0), w.NewParam(0), w.NewParam(0)
+	it := w.NewParam(0)
+	drv := w.Worker("dbmain", FuncOpts{
+		ArrayA: arr, ArrayB: arr2, ArrayWords: 8192, ALUWork: 1,
+		Callees:   []Callee{{Fn: ins, Gate: gI}, {Fn: look, Gate: gL}, {Fn: del, Gate: gD}},
+		IterParam: it,
+	})
+
+	n := 700 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib), SetP(gI, 1000), SetP(gL, 80), SetP(gD, 0)},
+			w.DriverBurst(it, n, drv)...),
+		append([]PhaseStep{SetP(gI, 60), SetP(gL, 1000), SetP(gD, 0)},
+			w.DriverBurst(it, 2*n, drv)...),
+		append([]PhaseStep{SetP(gI, 0), SetP(gL, 100), SetP(gD, 1000)},
+			w.DriverBurst(it, n, drv)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildParser models 197.parser: a tokenizing dispatcher phase followed by
+// a recursive evaluation phase. The recursive evaluator forces a
+// self-recursive package root; the shared dispatcher gives linking a
+// coverage win (§5.1).
+func buildParser(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(1024)
+	arr2 := w.NewArray(1024)
+	lib := w.Bulk("parselib", 20, 280, arr, 1024)
+	depthAddr := w.NewArray(1)
+
+	rec := w.Recursive("evalrec", depthAddr, w.NewParam(700), arr, 1024)
+
+	mkTok := func(name string, b1 int64) *prog.Func {
+		return w.Worker(name, FuncOpts{
+			Decisions: []Param{w.NewParam(b1), w.NewParam(550)},
+			ArrayA:    arr, ArrayB: arr2, ArrayWords: 1024, ALUWork: 1,
+			Callees:   coldTail(w, "spell"+name, 1, 900, 11, arr2, 1024),
+			IterParam: w.NewParam(3),
+		})
+	}
+	tokWord := mkTok("tokword", 780)
+	tokPunct := mkTok("tokpunct", 240)
+	// evalstep drives the recursive evaluator: sets the depth word, calls.
+	evalStep := w.Worker("evalstep", FuncOpts{
+		Decisions: []Param{w.NewParam(680)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 1024, ALUWork: 1,
+		Callees:   []Callee{{Fn: rec, Gate: w.NewParam(1000)}},
+		IterParam: w.NewParam(1),
+		PreStore:  &PreStore{From: w.NewParam(4), To: depthAddr},
+	})
+	cut1, cut2 := w.NewParam(450), w.NewParam(900)
+	iters := w.NewParam(0)
+	parse := w.Dispatcher("parse", iters, []Param{cut1, cut2},
+		[]*prog.Func{tokWord, tokPunct, evalStep})
+
+	n := 1000 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib), SetP(cut1, 700), SetP(cut2, 980)},
+			w.DriverBurst(iters, n, parse)...),
+		append([]PhaseStep{SetP(cut1, 60), SetP(cut2, 120)},
+			w.DriverBurst(iters, n, parse)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildTwolf models 300.twolf: two simulated-annealing stages whose accept
+// rates drift between phases (Multi Low branches) over a sizable branch
+// working set with nested rare paths.
+func buildTwolf(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(4096)
+	arr2 := w.NewArray(4096)
+	lib := w.Bulk("twlib", 22, 280, arr, 4096)
+
+	guardP := w.NewParam(14)
+	accept := w.NewParam(500) // drifts 650 -> 250 between phases
+	swap := w.NewParam(500)
+	mkStage := func(name string, d3 int64, a, b int64) *prog.Func {
+		return w.Worker(name, FuncOpts{
+			Decisions: []Param{accept, swap, w.NewParam(d3)},
+			Nested:    []Param{w.NewParam(400)},
+			Guards:    30, GuardProb: guardP,
+			ArrayA: a, ArrayB: b, ArrayWords: 4096, ALUWork: 1,
+			Callees:   coldTail(w, name+"fix", 1, 1000, 11, arr2, 4096),
+			IterParam: w.NewParam(1),
+		})
+	}
+	stages := []*prog.Func{
+		mkStage("annealmove", 720, arr, arr2),
+		mkStage("annealcost", 310, arr2, arr),
+		mkStage("annealwire", 580, arr, arr2),
+		mkStage("annealnet", 460, arr2, arr),
+	}
+	gPen := w.NewParam(0)
+	penalty := w.Worker("penalty", FuncOpts{
+		Decisions: []Param{w.NewParam(300), w.NewParam(820)},
+		ArrayA:    arr2, ArrayB: arr, ArrayWords: 4096, ALUWork: 2,
+		IterParam: w.NewParam(2),
+	})
+	callees := []Callee{{Fn: penalty, Gate: gPen}}
+	for _, s := range stages {
+		callees = append(callees, Callee{Fn: s, Gate: w.NewParam(1000)})
+	}
+	it := w.NewParam(0)
+	drv := w.Worker("twmain", FuncOpts{
+		ArrayA: arr, ArrayB: arr2, ArrayWords: 4096, ALUWork: 1,
+		Callees:   callees,
+		IterParam: it,
+	})
+
+	n := 420 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib), SetP(accept, 650), SetP(swap, 800), SetP(gPen, 120)},
+			w.DriverBurst(it, n, drv)...),
+		append([]PhaseStep{SetP(accept, 250), SetP(swap, 300), SetP(gPen, 900)},
+			w.DriverBurst(it, n, drv)...),
+	})
+	return w.Finish(seed)
+}
+
+// buildMpeg2dec models mpeg2dec: a frame-decode loop whose I-frame phase
+// leans on an FP IDCT kernel and whose P-frame phase leans on motion
+// compensation, both reached from the same decode root.
+func buildMpeg2dec(scale, seed int64) *prog.Program {
+	w := NewW()
+	arr := w.NewArray(2048)
+	arr2 := w.NewArray(2048)
+	lib := w.Bulk("mpglib", 18, 280, arr, 2048)
+
+	idct := w.Worker("idct", FuncOpts{
+		Decisions: []Param{w.NewParam(880), w.NewParam(340)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 2048, ALUWork: 2, FP: true,
+		Callees:   coldTail(w, "seqheader", 1, 700, 9, arr2, 2048),
+		IterParam: w.NewParam(3),
+	})
+	motion := w.Worker("motioncomp", FuncOpts{
+		Decisions: []Param{w.NewParam(460), w.NewParam(240)},
+		ArrayA:    arr2, ArrayB: arr, ArrayWords: 2048, ALUWork: 2,
+		Callees:   coldTail(w, "gopheader", 1, 700, 9, arr, 2048),
+		IterParam: w.NewParam(3),
+	})
+	gI, gP := w.NewParam(0), w.NewParam(0)
+	it := w.NewParam(0)
+	decode := w.Worker("decodeframe", FuncOpts{
+		Decisions: []Param{w.NewParam(500)},
+		ArrayA:    arr, ArrayB: arr2, ArrayWords: 2048, ALUWork: 1,
+		Callees:   []Callee{{Fn: idct, Gate: gI}, {Fn: motion, Gate: gP}},
+		IterParam: it,
+	})
+
+	n := 1000 * scale
+	w.MainOf([][]PhaseStep{
+		append([]PhaseStep{CallF(lib), SetP(gI, 1000), SetP(gP, 120)},
+			w.DriverBurst(it, n, decode)...),
+		append([]PhaseStep{SetP(gI, 120), SetP(gP, 1000)},
+			w.DriverBurst(it, 2*n, decode)...),
+	})
+	return w.Finish(seed)
+}

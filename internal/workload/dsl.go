@@ -1,0 +1,583 @@
+// Package workload synthesizes the benchmark programs the reproduction
+// evaluates. The paper used IMPACT-compiled SPEC CPU95/2000 and MediaBench
+// binaries; those are unavailable, so each named benchmark here is a VPIR
+// program whose *structure* reproduces the phenomena the paper measures:
+// distinct execution phases, data-driven branch biases that differ between
+// phases, hot paths spanning function and (simulated) library boundaries,
+// shared root functions across phases, self-recursion, and working sets
+// that stress the Branch Behavior Buffer.
+//
+// Branch outcomes are genuinely data-driven: every decision site draws from
+// an in-program linear congruential generator and compares against a
+// threshold read from a parameter table in the data segment. The program's
+// main function rewrites the parameter table between phases, so the same
+// static code exhibits different branch biases per phase — exactly the
+// behavior Vacuum Packing specializes for.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Data segment layout (word addresses relative to prog.DataBase).
+const (
+	rngSlot    = 0    // LCG state
+	paramBase  = 8    // parameter table: 8 bytes per parameter
+	paramCount = 480  // max parameters
+	arrayBase  = 4096 // work arrays start here
+	resultSlot = arrayBase - 8
+)
+
+// Param is a parameter-table slot whose value main rewrites per phase.
+type Param int
+
+func (p Param) addr() int64 {
+	return prog.DataBase + paramBase + int64(p)*8
+}
+
+// Register conventions inside generated code. All generated functions may
+// clobber r16..r27; persistent state lives on the stack.
+const (
+	rTmp0 = isa.Reg(20)
+	rTmp1 = isa.Reg(21)
+	rTmp2 = isa.Reg(22)
+	rTmp3 = isa.Reg(23)
+	rTmp4 = isa.Reg(24)
+	rTmp5 = isa.Reg(25)
+	rTmp6 = isa.Reg(26)
+	rTmp7 = isa.Reg(27)
+)
+
+// W wraps a prog.Builder with workload-specific emitters.
+type W struct {
+	BD *prog.Builder
+
+	nextParam  int
+	nextArray  int64 // next free byte offset past arrayBase
+	paramInits map[Param]int64
+	sessions   map[*prog.Func]session
+}
+
+// NewW returns a fresh workload writer.
+func NewW() *W {
+	return &W{
+		BD:         prog.NewBuilder(),
+		paramInits: make(map[Param]int64),
+		sessions:   make(map[*prog.Func]session),
+	}
+}
+
+// NewParam allocates a parameter slot with an initial value.
+func (w *W) NewParam(init int64) Param {
+	if w.nextParam >= paramCount {
+		panic("workload: parameter table exhausted")
+	}
+	p := Param(w.nextParam)
+	w.nextParam++
+	w.paramInits[p] = init
+	return p
+}
+
+// NewArray reserves a work array of n words and returns its byte address.
+func (w *W) NewArray(n int64) int64 {
+	addr := prog.DataBase + arrayBase + w.nextArray
+	w.nextArray += n * 8
+	return addr
+}
+
+// Finish installs the data segment (RNG seed, parameter defaults) and
+// returns the completed program.
+func (w *W) Finish(seed int64) *prog.Program {
+	words := int((paramBase + int64(w.nextParam)*8) / 8)
+	data := make([]int64, words)
+	data[rngSlot/8] = seed
+	for p, v := range w.paramInits {
+		data[(paramBase+int64(p)*8)/8] = v
+	}
+	w.BD.P.Data = data
+	return w.BD.P
+}
+
+// Rand emits code leaving a pseudo-random value in [0,1000) in rd. It
+// advances the shared LCG in the data segment (rd must not be rTmp7).
+func (w *W) Rand(rd isa.Reg) {
+	bd := w.BD
+	bd.Ld(rTmp7, isa.R0, prog.DataBase+rngSlot)
+	bd.OpI(isa.MULI, rTmp7, rTmp7, 6364136223846793005)
+	bd.OpI(isa.ADDI, rTmp7, rTmp7, 1442695040888963407)
+	bd.St(rTmp7, isa.R0, prog.DataBase+rngSlot)
+	bd.OpI(isa.SHRI, rd, rTmp7, 33)
+	bd.OpI(isa.ANDI, rd, rd, (1<<20)-1)
+	bd.Li(rTmp7, 1000)
+	bd.Op3(isa.REM, rd, rd, rTmp7)
+}
+
+// BranchOnParam seals the current block with a branch whose taken
+// probability is (param value)/1000, drawn from the LCG.
+func (w *W) BranchOnParam(p Param, taken, fall *prog.Block) {
+	bd := w.BD
+	w.Rand(rTmp5)
+	bd.Ld(rTmp6, isa.R0, p.addr())
+	bd.Branch(isa.BLT, rTmp5, rTmp6, taken, fall)
+}
+
+// LoadParam emits a load of a parameter value into rd.
+func (w *W) LoadParam(rd isa.Reg, p Param) {
+	w.BD.Ld(rd, isa.R0, p.addr())
+}
+
+// ArrayTouch emits a read-modify-write of a pseudo-random element of the
+// array at base with n words: the memory traffic of real workloads.
+func (w *W) ArrayTouch(base, n int64, extraALU int) {
+	bd := w.BD
+	w.Rand(rTmp4)
+	bd.Li(rTmp3, n)
+	bd.Op3(isa.REM, rTmp4, rTmp4, rTmp3)
+	bd.OpI(isa.SHLI, rTmp4, rTmp4, 3)
+	bd.OpI(isa.ADDI, rTmp4, rTmp4, base)
+	bd.Ld(rTmp3, rTmp4, 0)
+	for i := 0; i < extraALU; i++ {
+		switch i % 3 {
+		case 0:
+			bd.OpI(isa.ADDI, rTmp3, rTmp3, int64(i)+1)
+		case 1:
+			bd.OpI(isa.XORI, rTmp3, rTmp3, 0x5a5a)
+		case 2:
+			bd.OpI(isa.MULI, rTmp3, rTmp3, 3)
+		}
+	}
+	bd.St(rTmp3, rTmp4, 0)
+}
+
+// FPWork emits a short floating-point kernel (for media/FP-flavored
+// benchmarks).
+func (w *W) FPWork(units int) {
+	bd := w.BD
+	bd.Emit(prog.Ins{Inst: isa.Inst{Op: isa.FCVTIF, Rd: isa.F(1), Rs1: rTmp3}})
+	for i := 0; i < units; i++ {
+		switch i % 3 {
+		case 0:
+			bd.Op3(isa.FMUL, isa.F(2), isa.F(1), isa.F(1))
+		case 1:
+			bd.Op3(isa.FADD, isa.F(1), isa.F(2), isa.F(1))
+		case 2:
+			bd.Op3(isa.FSUB, isa.F(2), isa.F(2), isa.F(1))
+		}
+	}
+	bd.Emit(prog.Ins{Inst: isa.Inst{Op: isa.FCVTFI, Rd: rTmp3, Rs1: isa.F(2)}})
+	bd.OpI(isa.ANDI, rTmp3, rTmp3, 0xffff)
+	bd.St(rTmp3, isa.R0, prog.DataBase+resultSlot)
+}
+
+// Accumulate folds rTmp3 into the global result word so computed values are
+// architecturally observable (feeding the equivalence hash).
+func (w *W) Accumulate() {
+	bd := w.BD
+	bd.Ld(rTmp2, isa.R0, prog.DataBase+resultSlot)
+	bd.Op3(isa.XOR, rTmp2, rTmp2, rTmp3)
+	bd.OpI(isa.ADDI, rTmp2, rTmp2, 1)
+	bd.St(rTmp2, isa.R0, prog.DataBase+resultSlot)
+}
+
+// FuncOpts shapes a generated worker function.
+type FuncOpts struct {
+	// Decisions is the number of param-controlled diamonds in the body.
+	Decisions []Param
+	// Nested[i], when present, nests a second-level diamond inside the
+	// taken side of decision i.
+	Nested []Param
+	// Guards emits a chain of strongly fall-through checks (null/bounds
+	// test analogues) before the decisions: each takes its rare side with
+	// probability GuardProb/1000 into a two-instruction fixup that rejoins
+	// immediately. Guard-heavy bodies give a function the branch density
+	// of real hot loops and create BBB set contention at scale.
+	Guards    int
+	GuardProb Param
+	// Arrays to touch on the two sides of each diamond (byte addr, words).
+	ArrayA, ArrayB int64
+	ArrayWords     int64
+	// ALUWork scales straight-line work per diamond side.
+	ALUWork int
+	// FP adds a floating-point kernel on the A side.
+	FP bool
+	// Callees are invoked once per iteration, each gated by its Gate
+	// param so per-phase call mixes differ.
+	Callees []Callee
+	// IterParam is the per-call iteration count parameter.
+	IterParam Param
+	// PreStore, when set, copies a parameter into a data word before the
+	// gated calls each iteration (e.g. a recursion depth for a callee).
+	PreStore *PreStore
+}
+
+// PreStore names a per-iteration parameter-to-memory copy.
+type PreStore struct {
+	From Param
+	To   int64
+}
+
+// Callee is a gated call site inside a worker.
+type Callee struct {
+	Fn   *prog.Func
+	Gate Param // call happens when rand < gate (gate=1000 means always)
+}
+
+// Worker builds a standard worker function: a stack frame, an iteration
+// loop driven by IterParam, a chain of param-controlled diamonds with
+// array/ALU/FP work on each side, and gated calls to other functions.
+func (w *W) Worker(name string, o FuncOpts) *prog.Func {
+	bd := w.BD
+	fn := bd.Func(name)
+
+	frame := int64(32)
+	// Prologue.
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, -frame)
+	bd.St(isa.RRA, isa.RSP, 0)
+	w.LoadParam(rTmp0, o.IterParam)
+	bd.St(rTmp0, isa.RSP, 8)
+
+	loop := bd.NewBlock()
+	done := bd.NewBlock()
+	bd.Goto(loop)
+
+	bd.SetBlock(loop)
+	bd.Ld(rTmp0, isa.RSP, 8)
+	body := bd.NewBlock()
+	bd.Branch(isa.BEQ, rTmp0, isa.R0, done, body)
+
+	bd.SetBlock(body)
+	bd.OpI(isa.ADDI, rTmp0, rTmp0, -1)
+	bd.St(rTmp0, isa.RSP, 8)
+
+	// Guard chain.
+	for g := 0; g < o.Guards; g++ {
+		fixup := bd.NewBlock()
+		cont := bd.NewBlock()
+		w.BranchOnParam(o.GuardProb, fixup, cont)
+		bd.SetBlock(fixup)
+		bd.OpI(isa.XORI, rTmp3, rTmp3, int64(g)+1)
+		w.Accumulate()
+		bd.Goto(cont)
+		bd.SetBlock(cont)
+		bd.OpI(isa.ADDI, rTmp2, rTmp2, int64(g)|1)
+	}
+
+	// Decision diamonds.
+	for i, p := range o.Decisions {
+		takenB := bd.NewBlock()
+		fallB := bd.NewBlock()
+		joinB := bd.NewBlock()
+		w.BranchOnParam(p, takenB, fallB)
+
+		bd.SetBlock(takenB)
+		w.ArrayTouch(o.ArrayA, o.ArrayWords, o.ALUWork)
+		if o.FP && i == 0 {
+			w.FPWork(4 + o.ALUWork)
+		}
+		if i < len(o.Nested) {
+			// A second-level diamond nested on the taken side: it
+			// executes a fraction of the time, so its branch may fail to
+			// reach BBB candidacy even when the surrounding region is
+			// hot — the artifact temperature inference recovers.
+			subT := bd.NewBlock()
+			subF := bd.NewBlock()
+			subJ := bd.NewBlock()
+			w.BranchOnParam(o.Nested[i], subT, subF)
+			bd.SetBlock(subT)
+			w.ArrayTouch(o.ArrayA, o.ArrayWords, 1)
+			w.Accumulate()
+			bd.Goto(subJ)
+			bd.SetBlock(subF)
+			bd.OpI(isa.ADDI, rTmp3, rTmp3, 7)
+			w.Accumulate()
+			bd.Goto(subJ)
+			bd.SetBlock(subJ)
+		}
+		w.Accumulate()
+		bd.Goto(joinB)
+
+		bd.SetBlock(fallB)
+		w.ArrayTouch(o.ArrayB, o.ArrayWords, o.ALUWork+2)
+		w.Accumulate()
+		bd.Goto(joinB)
+
+		bd.SetBlock(joinB)
+	}
+
+	if o.PreStore != nil {
+		w.LoadParam(rTmp1, o.PreStore.From)
+		bd.St(rTmp1, isa.R0, o.PreStore.To)
+	}
+
+	// Gated calls.
+	for _, c := range o.Callees {
+		callB := bd.NewBlock()
+		skipB := bd.NewBlock()
+		w.BranchOnParam(c.Gate, callB, skipB)
+		bd.SetBlock(callB)
+		cont := bd.NewBlock()
+		bd.Call(c.Fn, cont)
+		bd.SetBlock(cont)
+		bd.Goto(skipB)
+		bd.SetBlock(skipB)
+	}
+	bd.Goto(loop)
+
+	// Epilogue.
+	bd.SetBlock(done)
+	bd.Ld(isa.RRA, isa.RSP, 0)
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, frame)
+	bd.Ret()
+	return fn
+}
+
+// ColdBody builds a straight-line leaf function of roughly `size`
+// instructions with a couple of param-controlled diamonds and array
+// traffic, ending in ret. Cold bodies are invoked sporadically (gates
+// below the Hot-arc weight threshold), so their branches never reach BBB
+// candidacy: they are the dynamic cold tail that keeps package coverage
+// below 100%, like the paper's benchmarks.
+func (w *W) ColdBody(name string, size int, arr, words int64) *prog.Func {
+	bd := w.BD
+	fn := bd.Func(name)
+	d1 := w.NewParam(500)
+	emitted := 0
+	for emitted < size {
+		t := bd.NewBlock()
+		f := bd.NewBlock()
+		j := bd.NewBlock()
+		w.BranchOnParam(d1, t, f)
+		bd.SetBlock(t)
+		w.ArrayTouch(arr, words, 3)
+		w.Accumulate()
+		bd.Goto(j)
+		bd.SetBlock(f)
+		w.ArrayTouch(arr, words, 5)
+		w.Accumulate()
+		bd.Goto(j)
+		bd.SetBlock(j)
+		for k := 0; k < size/4 && emitted+40+k < size; k++ {
+			bd.OpI(isa.ADDI, rTmp1, rTmp1, int64(k)+1)
+		}
+		emitted += 40 + size/4
+	}
+	bd.Ret()
+	return fn
+}
+
+// Bulk generates n never-hot functions of roughly size instructions each —
+// the static mass of real binaries (error paths, rarely used features,
+// library code). It returns an init function that calls each once, so a
+// program can pay the realistic one-time cold startup cost.
+func (w *W) Bulk(prefix string, n, size int, arr, words int64) *prog.Func {
+	fns := make([]*prog.Func, n)
+	for i := range fns {
+		fns[i] = w.ColdBody(fmt.Sprintf("%s%d", prefix, i), size, arr, words)
+	}
+	bd := w.BD
+	init := bd.Func(prefix + "_init")
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, -16)
+	bd.St(isa.RRA, isa.RSP, 0)
+	for _, f := range fns {
+		cont := bd.NewBlock()
+		bd.Call(f, cont)
+		bd.SetBlock(cont)
+	}
+	bd.Ld(isa.RRA, isa.RSP, 0)
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, 16)
+	bd.Ret()
+	return init
+}
+
+// Recursive builds a self-recursive function: it decrements a depth word
+// in the data segment, performs diamond work, and calls itself while the
+// counter is positive. The caller stores the desired depth into depthAddr
+// before calling. Self-recursion forces the function to be a package root
+// (§3.3.2) and exercises the recursion re-entry path.
+func (w *W) Recursive(name string, depthAddr int64, decision Param, arr, arrWords int64) *prog.Func {
+	bd := w.BD
+	fn := bd.Func(name)
+
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, -16)
+	bd.St(isa.RRA, isa.RSP, 0)
+	bd.Ld(rTmp0, isa.R0, depthAddr)
+	base := bd.NewBlock()
+	recurse := bd.NewBlock()
+	out := bd.NewBlock()
+	bd.Branch(isa.BLT, isa.R0, rTmp0, recurse, base)
+
+	bd.SetBlock(recurse)
+	bd.OpI(isa.ADDI, rTmp0, rTmp0, -1)
+	bd.St(rTmp0, isa.R0, depthAddr)
+	tk := bd.NewBlock()
+	fl := bd.NewBlock()
+	jn := bd.NewBlock()
+	w.BranchOnParam(decision, tk, fl)
+	bd.SetBlock(tk)
+	w.ArrayTouch(arr, arrWords, 2)
+	w.Accumulate()
+	bd.Goto(jn)
+	bd.SetBlock(fl)
+	bd.OpI(isa.XORI, rTmp3, rTmp3, 0x33)
+	w.Accumulate()
+	bd.Goto(jn)
+	bd.SetBlock(jn)
+	cont := bd.NewBlock()
+	bd.Call(fn, cont)
+	bd.SetBlock(cont)
+	bd.Goto(out)
+
+	bd.SetBlock(base)
+	w.ArrayTouch(arr, arrWords, 1)
+	w.Accumulate()
+	bd.Goto(out)
+
+	bd.SetBlock(out)
+	bd.Ld(isa.RRA, isa.RSP, 0)
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, 16)
+	bd.Ret()
+	return fn
+}
+
+// Dispatcher builds an interpreter-style command loop (the paper's perl
+// example): each iteration draws a command and dispatches through a
+// compare chain to one of the handlers; the selection thresholds are
+// parameters, so phases shift the command mix. All handlers share this
+// single root function.
+func (w *W) Dispatcher(name string, iters Param, cuts []Param, handlers []*prog.Func) *prog.Func {
+	if len(cuts) != len(handlers)-1 {
+		panic("workload: Dispatcher needs len(cuts) == len(handlers)-1")
+	}
+	bd := w.BD
+	fn := bd.Func(name)
+
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, -32)
+	bd.St(isa.RRA, isa.RSP, 0)
+	w.LoadParam(rTmp0, iters)
+	bd.St(rTmp0, isa.RSP, 8)
+	loop := bd.NewBlock()
+	done := bd.NewBlock()
+	bd.Goto(loop)
+
+	bd.SetBlock(loop)
+	bd.Ld(rTmp0, isa.RSP, 8)
+	body := bd.NewBlock()
+	bd.Branch(isa.BEQ, rTmp0, isa.R0, done, body)
+
+	bd.SetBlock(body)
+	bd.OpI(isa.ADDI, rTmp0, rTmp0, -1)
+	bd.St(rTmp0, isa.RSP, 8)
+	w.Rand(rTmp1)
+	bd.St(rTmp1, isa.RSP, 16) // command selector survives handler calls
+
+	after := bd.NewBlock()
+	for i, h := range handlers {
+		callB := bd.NewBlock()
+		var nextB *prog.Block
+		if i < len(cuts) {
+			nextB = bd.NewBlock()
+			bd.Ld(rTmp1, isa.RSP, 16)
+			w.LoadParam(rTmp2, cuts[i])
+			bd.Branch(isa.BLT, rTmp1, rTmp2, callB, nextB)
+		} else {
+			bd.Goto(callB)
+		}
+		bd.SetBlock(callB)
+		cont := bd.NewBlock()
+		bd.Call(h, cont)
+		bd.SetBlock(cont)
+		bd.Goto(after)
+		if nextB != nil {
+			bd.SetBlock(nextB)
+		}
+	}
+	bd.SetBlock(after)
+	bd.Goto(loop)
+
+	bd.SetBlock(done)
+	bd.Ld(isa.RRA, isa.RSP, 0)
+	bd.OpI(isa.ADDI, isa.RSP, isa.RSP, 32)
+	bd.Ret()
+	return fn
+}
+
+// session caches the work-item wrapper built for a driver.
+type session struct {
+	fn *prog.Func
+	it Param
+}
+
+// DriverBurst returns the phase steps that run `total` iterations of drv
+// the way real applications do: a session function (created once per
+// driver) owns a work-item loop that re-invokes the driver in short
+// bursts. Packages root at the session and partially inline the driver, so
+// a driver-level cold exit strands execution for at most one burst — the
+// materialized return address brings control back into the package when
+// the original driver returns.
+func (w *W) DriverBurst(drvIt Param, total int64, drv *prog.Func) []PhaseStep {
+	const (
+		burst     = 18 // driver iterations per work item
+		sessCalls = 3  // session launches per phase
+	)
+	s, ok := w.sessions[drv]
+	if !ok {
+		it := w.NewParam(0)
+		always := w.NewParam(1000)
+		fn := w.Worker(drv.Name+"_sess", FuncOpts{
+			Callees:   []Callee{{Fn: drv, Gate: always}},
+			IterParam: it,
+		})
+		s = session{fn: fn, it: it}
+		w.sessions[drv] = s
+	}
+	perSess := total / (burst * sessCalls)
+	if perSess < 1 {
+		perSess = 1
+	}
+	steps := []PhaseStep{SetP(drvIt, burst)}
+	for i := 0; i < sessCalls; i++ {
+		steps = append(steps, SetP(s.it, perSess), CallF(s.fn))
+	}
+	return steps
+}
+
+// PhaseStep is one action main performs in a phase: set a parameter or
+// call a function.
+type PhaseStep struct {
+	Set   *Param
+	Value int64
+	Call  *prog.Func
+}
+
+// SetP builds a parameter-setting step.
+func SetP(p Param, v int64) PhaseStep { return PhaseStep{Set: &p, Value: v} }
+
+// CallF builds a call step.
+func CallF(f *prog.Func) PhaseStep { return PhaseStep{Call: f} }
+
+// MainOf builds the program's main function from a phase script: each
+// phase's steps run in order.
+func (w *W) MainOf(phases [][]PhaseStep) {
+	bd := w.BD
+	bd.Func("main")
+	bd.Main()
+	for _, steps := range phases {
+		for _, s := range steps {
+			switch {
+			case s.Set != nil:
+				bd.Li(rTmp0, s.Value)
+				bd.St(rTmp0, isa.R0, s.Set.addr())
+			case s.Call != nil:
+				cont := bd.NewBlock()
+				bd.Call(s.Call, cont)
+				bd.SetBlock(cont)
+			default:
+				panic(fmt.Sprintf("workload: empty phase step %+v", s))
+			}
+		}
+	}
+	bd.Halt()
+}

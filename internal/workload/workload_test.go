@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(all))
+	}
+	ordered := Ordered()
+	if len(ordered) != 12 {
+		t.Fatalf("Ordered() returned %d, want 12", len(ordered))
+	}
+	if ordered[0].Name != "go" || ordered[len(ordered)-1].Name != "mpeg2dec" {
+		t.Error("Ordered() not in Table 1 order")
+	}
+	totalInputs := 0
+	for _, b := range all {
+		totalInputs += len(b.Inputs)
+		if b.Paper == "" {
+			t.Errorf("%s missing paper row", b.Name)
+		}
+	}
+	if totalInputs != 19 {
+		t.Errorf("suite has %d inputs, want 19 (Table 1 rows)", totalInputs)
+	}
+}
+
+func TestByNameAndInput(t *testing.T) {
+	b, err := ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InputByName("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InputByName("Z"); err == nil {
+		t.Error("unknown input should error")
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestEveryBenchmarkBuildsVerifiesAndRuns(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			in := b.Inputs[0]
+			in.Scale = 1
+			p := b.Build(in)
+			if err := p.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			img, err := p.Linearize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := cpu.NewMachine(img)
+			if err := m.Run(50_000_000, nil); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if m.InstCount < 100_000 {
+				t.Errorf("only %d instructions executed; too small to profile", m.InstCount)
+			}
+			if _, stores := m.DataHash(); stores == 0 {
+				t.Error("program produced no observable data-segment effects")
+			}
+		})
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	b, _ := ByName("gzip")
+	in := b.Inputs[0]
+	p1 := b.Build(in)
+	p2 := b.Build(in)
+	img1, err := p1.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := p2.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img1.Code) != len(img2.Code) {
+		t.Fatal("two builds differ in size")
+	}
+	for i := range img1.Code {
+		if img1.Code[i] != img2.Code[i] {
+			t.Fatalf("two builds differ at slot %d", i)
+		}
+	}
+}
+
+func TestSeedChangesDynamicsNotStructure(t *testing.T) {
+	b, _ := ByName("mcf")
+	inA := b.Inputs[0]
+	inB := inA
+	inB.Seed = inA.Seed + 12345
+	p1, p2 := b.Build(inA), b.Build(inB)
+	if p1.NumInsts() != p2.NumInsts() {
+		t.Error("seed changed static structure")
+	}
+	img1, _ := p1.Linearize()
+	img2, _ := p2.Linearize()
+	m1, m2 := cpu.NewMachine(img1), cpu.NewMachine(img2)
+	if err := m1.Run(50_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(50_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := m1.DataHash()
+	h2, _ := m2.DataHash()
+	if h1 == h2 {
+		t.Error("different seeds produced identical data effects")
+	}
+}
+
+func TestScaleScalesWork(t *testing.T) {
+	b, _ := ByName("m88ksim")
+	in := b.Inputs[0]
+	in.Scale = 1
+	p1 := b.Build(in)
+	in.Scale = 2
+	p2 := b.Build(in)
+	img1, _ := p1.Linearize()
+	img2, _ := p2.Linearize()
+	m1, m2 := cpu.NewMachine(img1), cpu.NewMachine(img2)
+	if err := m1.Run(100_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(100_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m2.InstCount < m1.InstCount*3/2 {
+		t.Errorf("scale 2 ran %d vs %d insts; expected meaningful growth", m2.InstCount, m1.InstCount)
+	}
+}
+
+func TestDSLPrimitives(t *testing.T) {
+	w := NewW()
+	bd := w.BD
+	p1 := w.NewParam(500)
+	arr := w.NewArray(64)
+	fn := bd.Func("main")
+	bd.Main()
+	_ = fn
+	tk := bd.NewBlock()
+	fl := bd.NewBlock()
+	w.BranchOnParam(p1, tk, fl)
+	bd.SetBlock(tk)
+	w.ArrayTouch(arr, 64, 3)
+	w.Accumulate()
+	bd.Halt()
+	bd.SetBlock(fl)
+	w.FPWork(3)
+	bd.Halt()
+	p := w.Finish(99)
+
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.NewMachine(img)
+	if err := m.Run(10_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The RNG state must have advanced from the seed.
+	v, _ := m.Mem.Load(prog.DataBase + rngSlot)
+	if v == 99 {
+		t.Error("LCG did not advance")
+	}
+}
+
+func TestWorkerShape(t *testing.T) {
+	w := NewW()
+	arr := w.NewArray(64)
+	d := w.NewParam(500)
+	g := w.NewParam(200)
+	guard := w.NewParam(15)
+	leaf := w.ColdBody("leaf", 100, arr, 64)
+	it := w.NewParam(5)
+	fn := w.Worker("wk", FuncOpts{
+		Decisions: []Param{d},
+		Nested:    []Param{w.NewParam(300)},
+		Guards:    4, GuardProb: guard,
+		ArrayA: arr, ArrayB: arr, ArrayWords: 64, ALUWork: 2,
+		Callees:   []Callee{{Fn: leaf, Gate: g}},
+		IterParam: it,
+	})
+	bd := w.BD
+	bd.Func("main")
+	bd.Main()
+	cont := bd.NewBlock()
+	bd.Call(fn, cont)
+	bd.SetBlock(cont)
+	bd.Halt()
+	p := w.Finish(3)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Count conditional branch blocks in the worker: loop + 4 guards +
+	// 1 decision + 1 nested + 1 gate = 8.
+	n := 0
+	for _, b := range fn.Blocks {
+		if b.Kind == prog.TermBranch {
+			n++
+		}
+	}
+	if n != 8 {
+		t.Errorf("worker branch blocks = %d, want 8", n)
+	}
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.NewMachine(img)
+	if err := m.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecursiveTerminates(t *testing.T) {
+	w := NewW()
+	arr := w.NewArray(64)
+	depth := w.NewArray(1)
+	rec := w.Recursive("r", depth, w.NewParam(500), arr, 64)
+	bd := w.BD
+	bd.Func("main")
+	bd.Main()
+	bd.Li(isa.Reg(1), 7)
+	bd.St(isa.Reg(1), isa.R0, depth)
+	cont := bd.NewBlock()
+	bd.Call(rec, cont)
+	bd.SetBlock(cont)
+	bd.Halt()
+	p := w.Finish(5)
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.NewMachine(img)
+	if err := m.Run(100_000, nil); err != nil {
+		t.Fatalf("recursion did not terminate: %v", err)
+	}
+}
+
+func TestDispatcherSelectsByParams(t *testing.T) {
+	w := NewW()
+	arr := w.NewArray(64)
+	mkLeaf := func(name string, slot int64) *prog.Func {
+		bd := w.BD
+		fn := bd.Func(name)
+		bd.Li(rTmp0, 1)
+		bd.Ld(rTmp1, isa.R0, arr+slot*8)
+		bd.Op3(isa.ADD, rTmp1, rTmp1, rTmp0)
+		bd.St(rTmp1, isa.R0, arr+slot*8)
+		bd.Ret()
+		return fn
+	}
+	h1 := mkLeaf("h1", 0)
+	h2 := mkLeaf("h2", 1)
+	cut := w.NewParam(1000) // always select h1
+	iters := w.NewParam(200)
+	disp := w.Dispatcher("disp", iters, []Param{cut}, []*prog.Func{h1, h2})
+	bd := w.BD
+	bd.Func("main")
+	bd.Main()
+	cont := bd.NewBlock()
+	bd.Call(disp, cont)
+	bd.SetBlock(cont)
+	bd.Halt()
+	p := w.Finish(11)
+	img, err := p.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.NewMachine(img)
+	if err := m.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := m.Mem.Load(prog.DataBase + arrayBase + 0)
+	c2, _ := m.Mem.Load(prog.DataBase + arrayBase + 8)
+	if c1 != 200 || c2 != 0 {
+		t.Errorf("dispatch counts = %d/%d, want 200/0", c1, c2)
+	}
+}

@@ -1,0 +1,169 @@
+// Package vacuumpack is the public API of the Vacuum Packing
+// reproduction: hardware-detected program phases extracted into
+// phase-specialized, relocated, optimizable code packages (Barnes, Merten,
+// Nystrom, Hwu — MICRO 2002).
+//
+// The package is a thin facade over the implementation packages; the types
+// it exposes are aliases, so values flow freely between the facade and the
+// subsystem APIs for advanced use.
+//
+// A minimal end-to-end run:
+//
+//	bench, _ := vacuumpack.Benchmark("perl")
+//	program := bench.Build(bench.Inputs[0])
+//	outcome, err := vacuumpack.Run(vacuumpack.ScaledConfig(), program)
+//	if err != nil { ... }
+//	ev, err := outcome.Evaluate(vacuumpack.DefaultMachine(), 0)
+//	fmt.Printf("coverage %.1f%% speedup %.3f\n", ev.Coverage*100, ev.Speedup)
+//
+// Hand-written programs enter through Assemble (see the assembly syntax in
+// the asm package docs), synthetic SPEC-analogue workloads through
+// Benchmark/Benchmarks, and programmatic construction through NewBuilder.
+package vacuumpack
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/hsd"
+	"repro/internal/phasedb"
+	"repro/internal/prog"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Program construction and inspection.
+type (
+	// Program is a structured VPIR program: functions of basic blocks.
+	Program = prog.Program
+	// Func is one function; Block one basic block.
+	Func = prog.Func
+	// Block is a basic block with an explicit terminator.
+	Block = prog.Block
+	// Builder constructs programs in Go code.
+	Builder = prog.Builder
+	// Image is a linearized (address-assigned) program.
+	Image = prog.Image
+)
+
+// NewBuilder returns a builder over a fresh program.
+func NewBuilder() *Builder { return prog.NewBuilder() }
+
+// Assemble parses VPIR assembly into a verified program.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// Disassemble renders a program in reassemblable VPIR assembly.
+func Disassemble(p *Program) string { return asm.Disassemble(p) }
+
+// Pipeline configuration and execution.
+type (
+	// Config gathers every pipeline knob; start from DefaultConfig or
+	// ScaledConfig.
+	Config = core.Config
+	// Variant is one of the paper's four evaluation configurations.
+	Variant = core.Variant
+	// Outcome is a pipeline run's result: the packed program, the phase
+	// database, regions, packages and profile statistics.
+	Outcome = core.Outcome
+	// Evaluation is the timed original-vs-packed comparison.
+	Evaluation = core.Evaluation
+)
+
+// DefaultConfig returns the paper's configuration (Table 2 detector).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ScaledConfig returns the workload-scaled configuration the evaluation
+// suite uses (see DESIGN.md for the scaling substitution).
+func ScaledConfig() Config { return core.ScaledConfig() }
+
+// Variants lists the four Figure 8/10 configurations in paper order.
+func Variants() []Variant { return core.Variants() }
+
+// Run executes the full Vacuum Packing pipeline on p: profile under the
+// Hot Spot Detector, filter phases, identify regions, extract + link +
+// optimize packages. p is mutated into the packed program; the Outcome
+// carries a pristine clone for baselines.
+func Run(cfg Config, p *Program) (*Outcome, error) { return core.Run(cfg, p) }
+
+// Machine model.
+type (
+	// MachineConfig parameterizes the cycle-level EPIC timing model.
+	MachineConfig = cpu.Config
+	// TimingStats aggregates one timed run.
+	TimingStats = cpu.TimingStats
+	// Machine is the functional VPIR emulator.
+	Machine = cpu.Machine
+	// StepInfo describes one retired instruction for run observers.
+	StepInfo = cpu.StepInfo
+)
+
+// DefaultMachine returns the paper's Table 2 machine model.
+func DefaultMachine() MachineConfig { return cpu.DefaultConfig() }
+
+// NewMachine builds a functional emulator for a linearized image.
+func NewMachine(img *Image) *Machine { return cpu.NewMachine(img) }
+
+// RunTimed runs an image to completion under the timing model.
+func RunTimed(mc MachineConfig, img *Image, limit uint64) (TimingStats, *Machine, error) {
+	return cpu.RunTimed(mc, img, limit)
+}
+
+// Profiling building blocks, for callers that want the detector stream
+// without the rest of the pipeline.
+type (
+	// Detector is the Hot Spot Detector hardware model.
+	Detector = hsd.Detector
+	// DetectorConfig sizes the detector.
+	DetectorConfig = hsd.Config
+	// HotSpot is one raw detection.
+	HotSpot = hsd.HotSpot
+	// PhaseDB filters raw detections into unique phases.
+	PhaseDB = phasedb.DB
+	// Phase is one unique program phase.
+	Phase = phasedb.Phase
+	// Category is the Figure 9 branch taxonomy.
+	Category = phasedb.Category
+	// Categorization is the dynamic-weighted Figure 9 breakdown.
+	Categorization = phasedb.Categorization
+)
+
+// NumCategories is the number of Figure 9 branch categories.
+const NumCategories = phasedb.NumCategories
+
+// NewDetector builds a Hot Spot Detector that calls onDetect per hot spot.
+func NewDetector(cfg DetectorConfig, onDetect func(HotSpot)) *Detector {
+	return hsd.New(cfg, onDetect)
+}
+
+// NewPhaseDB returns an empty phase database with the paper's §3.1
+// filtering thresholds (zero-valued cfg fields take defaults).
+func NewPhaseDB() *PhaseDB { return phasedb.New(phasedb.DefaultConfig()) }
+
+// Workloads.
+type (
+	// Workload is one synthetic SPEC-analogue benchmark.
+	Workload = workload.Benchmark
+	// WorkloadInput is one of a workload's input rows.
+	WorkloadInput = workload.Input
+)
+
+// Benchmark returns a workload by name (go, m88ksim, li, ijpeg, gzip, vpr,
+// mcf, perl, vortex, parser, twolf, mpeg2dec).
+func Benchmark(name string) (*Workload, error) { return workload.ByName(name) }
+
+// Benchmarks returns the whole suite in the paper's Table 1 order.
+func Benchmarks() []*Workload { return workload.Ordered() }
+
+// Trace baseline.
+type (
+	// TraceConfig controls the Dynamo-style trace-extraction baseline.
+	TraceConfig = trace.Config
+	// TraceResult summarizes a trace deployment.
+	TraceResult = trace.Result
+)
+
+// BuildTraces deploys the trace-based baseline on p from a phase database
+// gathered on an identically-linearizing image.
+func BuildTraces(cfg TraceConfig, p *Program, img *Image, db *PhaseDB) (*TraceResult, error) {
+	return trace.Build(cfg, p, img, db)
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/hsd"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -296,6 +297,33 @@ func BenchmarkAblationSchedOnly(b *testing.B) {
 				sp = ev.Speedup
 			}
 			b.ReportMetric(sp, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkSuiteJobs measures the parallel evaluation engine: the same
+// representative suite subset at one worker versus the machine's full
+// worker count (report.Options.Jobs = 0). On a multi-core host the j0 run
+// should approach j1 divided by the core count.
+func BenchmarkSuiteJobs(b *testing.B) {
+	for _, jobs := range []int{1, 0} {
+		name := "j1"
+		if jobs == 0 {
+			name = "jmax"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := report.RunSuite(report.Options{
+					Machine:       cpu.DefaultConfig(),
+					Core:          core.ScaledConfig(),
+					Benchmarks:    figureSubset,
+					ScaleOverride: 1,
+					Jobs:          jobs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -8,28 +8,77 @@
 //	vpbench -figure 8       # one figure
 //	vpbench -bench perl     # restrict the suite
 //	vpbench -scale 1        # force a smaller iteration scale
+//	vpbench -j 4            # run 4 inputs concurrently (default GOMAXPROCS)
+//	vpbench -benchjson f    # write machine-readable timing JSON to f
+//	vpbench -cpuprofile f   # write a pprof CPU profile of the run to f
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/report"
 )
 
+// benchJSON is the machine-readable trajectory record -benchjson emits so
+// successive PRs can track suite wall time and simulation throughput (the
+// BENCH_*.json files at the repo root).
+type benchJSON struct {
+	Schema         string  `json:"schema"`
+	Timestamp      string  `json:"timestamp"`
+	GoVersion      string  `json:"go_version"`
+	NumCPU         int     `json:"num_cpu"`
+	Jobs           int     `json:"jobs"`
+	Scale          int64   `json:"scale"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	TotalInsts     uint64  `json:"total_insts"`
+	InstsPerSecond float64 `json:"insts_per_second"`
+
+	Inputs []benchInput `json:"inputs"`
+}
+
+type benchInput struct {
+	Bench   string  `json:"bench"`
+	Input   string  `json:"input"`
+	Insts   uint64  `json:"insts"`
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	var (
-		table   = flag.Int("table", 0, "print only Table N (1, 2 or 3)")
-		figure  = flag.Int("figure", 0, "print only Figure N (8, 9 or 10)")
-		benches = flag.String("bench", "", "comma-separated benchmark subset")
-		scale   = flag.Int64("scale", 0, "override every input's iteration scale")
-		quiet   = flag.Bool("q", false, "suppress per-input progress lines")
+		table      = flag.Int("table", 0, "print only Table N (1, 2 or 3)")
+		figure     = flag.Int("figure", 0, "print only Figure N (8, 9 or 10)")
+		benches    = flag.String("bench", "", "comma-separated benchmark subset")
+		scale      = flag.Int64("scale", 0, "override every input's iteration scale")
+		jobs       = flag.Int("j", 0, "concurrent benchmark inputs (0 = GOMAXPROCS, 1 = sequential)")
+		quiet      = flag.Bool("q", false, "suppress per-input progress lines")
+		benchjson  = flag.String("benchjson", "", "write machine-readable suite timing JSON to `file`")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *table == 2 {
 		fmt.Print(report.Table2(cpu.DefaultConfig()))
@@ -40,6 +89,7 @@ func main() {
 		Machine:       cpu.DefaultConfig(),
 		Core:          core.ScaledConfig(),
 		ScaleOverride: *scale,
+		Jobs:          *jobs,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -52,6 +102,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
+	}
+
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, suite, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: memprofile:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	switch {
@@ -76,4 +146,51 @@ func main() {
 		fmt.Println(suite.Figure9())
 		fmt.Println(suite.Figure10())
 	}
+}
+
+// trajectory is the on-disk shape of the BENCH_*.json files: a curated
+// history of past measurements (kept verbatim across refreshes) plus the
+// latest run. Refreshing via -benchjson never discards history entries.
+type trajectory struct {
+	Schema  string            `json:"schema"`
+	History []json.RawMessage `json:"history,omitempty"`
+	Latest  benchJSON         `json:"latest"`
+}
+
+func writeBenchJSON(path string, suite *report.Suite, scale int64) error {
+	wall := suite.Elapsed.Seconds()
+	rec := benchJSON{
+		Schema:      "vpbench-suite/v1",
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Jobs:        suite.Jobs,
+		Scale:       scale,
+		WallSeconds: wall,
+		TotalInsts:  suite.TotalInsts(),
+	}
+	if wall > 0 {
+		rec.InstsPerSecond = float64(rec.TotalInsts) / wall
+	}
+	for i := range suite.Results {
+		r := &suite.Results[i]
+		rec.Inputs = append(rec.Inputs, benchInput{
+			Bench:   r.Bench,
+			Input:   r.Input,
+			Insts:   r.DynInsts,
+			Seconds: r.Elapsed.Seconds(),
+		})
+	}
+	traj := trajectory{Schema: "bench-trajectory/v1", Latest: rec}
+	if old, err := os.ReadFile(path); err == nil {
+		var prev trajectory
+		if json.Unmarshal(old, &prev) == nil && prev.Schema == traj.Schema {
+			traj.History = prev.History
+		}
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

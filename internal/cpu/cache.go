@@ -7,31 +7,44 @@ type Cache struct {
 	name     string
 	lineBits uint
 	sets     int
+	setMask  int64 // sets-1; sets is always a power of two
 	ways     int
 
-	tags []int64  // sets*ways entries, -1 = invalid
-	lru  []uint32 // per-entry LRU stamps
-	tick uint32
+	tags []int64 // sets*ways entries, -1 = invalid
+	// LRU stamps are 64-bit: a 32-bit tick wraps after ~4.3 B accesses,
+	// after which stamp comparisons pick the wrong victim.
+	lru  []uint64
+	tick uint64
 
 	Accesses uint64
 	Misses   uint64
 }
 
-// NewCache builds a cache of the given total size with 64-byte lines.
-// sizeBytes must be a multiple of ways*64.
+// NewCache builds a cache of the given total size with 64-byte lines. The
+// set count is rounded up to a power of two so the hot-path set index is a
+// mask instead of an int64 division; sizeBytes should be a multiple of
+// ways*64 (and a power-of-two total, as real cache geometries are).
 func NewCache(name string, sizeBytes, ways int) *Cache {
 	const lineBytes = 64
 	sets := sizeBytes / (lineBytes * ways)
 	if sets < 1 {
 		sets = 1
 	}
+	// Round up to the next power of two (no-op for the Table 2 geometries,
+	// which are already powers of two).
+	pow2 := 1
+	for pow2 < sets {
+		pow2 <<= 1
+	}
+	sets = pow2
 	c := &Cache{
 		name:     name,
 		lineBits: 6,
 		sets:     sets,
+		setMask:  int64(sets - 1),
 		ways:     ways,
 		tags:     make([]int64, sets*ways),
-		lru:      make([]uint32, sets*ways),
+		lru:      make([]uint64, sets*ways),
 	}
 	for i := range c.tags {
 		c.tags[i] = -1
@@ -44,7 +57,7 @@ func (c *Cache) Access(addr int64) bool {
 	c.Accesses++
 	c.tick++
 	line := addr >> c.lineBits
-	set := int(line % int64(c.sets))
+	set := int(line & c.setMask)
 	base := set * c.ways
 	victim := base
 	oldest := c.lru[base]

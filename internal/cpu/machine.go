@@ -49,7 +49,7 @@ type Machine struct {
 // NewMachine builds a machine for an image, loads the program's data
 // segment and initializes the stack pointer.
 func NewMachine(img *prog.Image) *Machine {
-	m := &Machine{Img: img, Mem: NewMemory(), PC: img.Entry}
+	m := &Machine{Img: img, Mem: NewMemorySized(len(img.Prog.Data)), PC: img.Entry}
 	for i, v := range img.Prog.Data {
 		// Data segment initialization cannot fail: addresses are aligned
 		// and positive by construction.
@@ -62,10 +62,19 @@ func NewMachine(img *prog.Image) *Machine {
 	return m
 }
 
-const (
-	fnv64offset = 14695981039346656037
-	fnv64prime  = 1099511628211
-)
+const fnv64offset = 14695981039346656037
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer that
+// costs three multiplies/shifts instead of the byte-at-a-time FNV loop the
+// hash used previously (store hashing was ~8% of a timed run).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 func (m *Machine) hashStore(addr, val int64) {
 	// Only data-segment stores participate: the stack holds spilled return
@@ -74,13 +83,11 @@ func (m *Machine) hashStore(addr, val int64) {
 	if addr < prog.DataBase || addr >= prog.StackBase/2 {
 		return
 	}
+	// Chaining through the running hash keeps the digest order-sensitive,
+	// as the functional-equivalence check requires.
 	h := m.dataHash
-	for _, v := range [2]uint64{uint64(addr), uint64(val)} {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= fnv64prime
-		}
-	}
+	h = mix64(h ^ uint64(addr))
+	h = mix64(h ^ uint64(val))
 	m.dataHash = h
 	m.dataCount++
 }
@@ -127,7 +134,18 @@ func (m *Machine) Step(info *StepInfo) error {
 	if m.PC < 0 || m.PC >= int64(len(m.Img.Code)) {
 		return fmt.Errorf("cpu: PC %d outside code image (len %d)", m.PC, len(m.Img.Code))
 	}
-	in := m.Img.Code[m.PC]
+	var scratch StepInfo
+	if info == nil {
+		info = &scratch
+	}
+	return m.exec(m.Img.Code[m.PC], info)
+}
+
+// exec executes one decoded instruction whose validity checks (halted
+// state, PC bounds) have already been done by the caller, filling info
+// unconditionally. Run hoists those checks and the code-slice load out of
+// its loop and calls exec directly.
+func (m *Machine) exec(in isa.Inst, info *StepInfo) error {
 	next := m.PC + 1
 	taken := false
 	memAddr := int64(-1)
@@ -261,17 +279,15 @@ func (m *Machine) Step(info *StepInfo) error {
 	default:
 		return fmt.Errorf("cpu: pc %d: invalid opcode %v", m.PC, in.Op)
 	}
-	if in.Op.IsCondBranch() && taken {
+	if isa.Meta[in.Op].IsCondBranch && taken {
 		next = in.Target
 	}
 
-	if info != nil {
-		info.PC = m.PC
-		info.Inst = in
-		info.NextPC = next
-		info.Taken = taken
-		info.MemAddr = memAddr
-	}
+	info.PC = m.PC
+	info.Inst = in
+	info.NextPC = next
+	info.Taken = taken
+	info.MemAddr = memAddr
 	m.PC = next
 	m.InstCount++
 	return nil
@@ -288,18 +304,41 @@ func b2i(b bool) int64 {
 // no limit). observe, if non-nil, is called for every retired instruction.
 // It returns an error for architectural faults or when the limit is hit
 // before the program halts.
+//
+// The loop is fused with the per-instruction dispatch: the code slice, its
+// bounds and the halted/observer checks are hoisted out of the retirement
+// path rather than re-derived inside Step for every instruction.
 func (m *Machine) Run(limit uint64, observe func(*StepInfo)) error {
 	var info StepInfo
+	code := m.Img.Code
+	n := int64(len(code))
+	if observe == nil {
+		for !m.Halted {
+			if limit > 0 && m.InstCount >= limit {
+				return fmt.Errorf("cpu: instruction limit %d reached at pc %d", limit, m.PC)
+			}
+			pc := m.PC
+			if uint64(pc) >= uint64(n) {
+				return fmt.Errorf("cpu: PC %d outside code image (len %d)", pc, n)
+			}
+			if err := m.exec(code[pc], &info); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for !m.Halted {
 		if limit > 0 && m.InstCount >= limit {
 			return fmt.Errorf("cpu: instruction limit %d reached at pc %d", limit, m.PC)
 		}
-		if err := m.Step(&info); err != nil {
+		pc := m.PC
+		if uint64(pc) >= uint64(n) {
+			return fmt.Errorf("cpu: PC %d outside code image (len %d)", pc, n)
+		}
+		if err := m.exec(code[pc], &info); err != nil {
 			return err
 		}
-		if observe != nil {
-			observe(&info)
-		}
+		observe(&info)
 	}
 	return nil
 }

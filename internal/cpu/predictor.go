@@ -11,6 +11,7 @@ type Predictor struct {
 	btb     []int64 // direct-mapped: tag<<32 | target is overkill; store pc and target
 	btbPC   []int64
 	btbSize int
+	btbMask uint64 // btbSize-1; entry count is rounded to a power of two
 
 	ras    []int64
 	rasTop int
@@ -22,14 +23,26 @@ type Predictor struct {
 }
 
 // NewPredictor builds a predictor with a 2^historyBits-entry PHT, the given
-// BTB entry count and RAS depth.
+// BTB entry count (rounded up to a power of two so the index is a mask
+// rather than a division) and RAS depth.
 func NewPredictor(historyBits uint, btbEntries, rasDepth int) *Predictor {
+	pow2 := 1
+	for pow2 < btbEntries {
+		pow2 <<= 1
+	}
+	btbEntries = pow2
+	pow2 = 1
+	for pow2 < rasDepth {
+		pow2 <<= 1
+	}
+	rasDepth = pow2
 	p := &Predictor{
 		historyBits: historyBits,
 		pht:         make([]uint8, 1<<historyBits),
 		btb:         make([]int64, btbEntries),
 		btbPC:       make([]int64, btbEntries),
 		btbSize:     btbEntries,
+		btbMask:     uint64(btbEntries - 1),
 		ras:         make([]int64, rasDepth),
 	}
 	for i := range p.pht {
@@ -71,7 +84,7 @@ func (p *Predictor) PredictCond(pc int64, actual bool) bool {
 // cached, updating the entry, and reports a hit. A BTB miss on a taken
 // transfer costs a fetch redirect in the timing model.
 func (p *Predictor) LookupBTB(pc, target int64) bool {
-	i := int(uint64(pc) % uint64(p.btbSize))
+	i := int(uint64(pc) & p.btbMask)
 	hit := p.btbPC[i] == pc && p.btb[i] == target
 	p.btbPC[i] = pc
 	p.btb[i] = target
@@ -83,7 +96,7 @@ func (p *Predictor) LookupBTB(pc, target int64) bool {
 
 // PushRAS records a call's return address.
 func (p *Predictor) PushRAS(ret int64) {
-	p.ras[p.rasTop%len(p.ras)] = ret
+	p.ras[p.rasTop&(len(p.ras)-1)] = ret
 	p.rasTop++
 }
 
@@ -94,7 +107,7 @@ func (p *Predictor) PopRAS(actual int64) bool {
 		return false
 	}
 	p.rasTop--
-	if p.ras[p.rasTop%len(p.ras)] != actual {
+	if p.ras[p.rasTop&(len(p.ras)-1)] != actual {
 		p.RASMisses++
 		return false
 	}

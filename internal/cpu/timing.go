@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/prog"
 )
@@ -208,9 +210,12 @@ func (t *Timing) iFetch(pc int64) int {
 }
 
 // Observe accounts one retired instruction. Call it in retirement order.
+// Per-opcode properties come from the flat isa.Meta table — one load per
+// instruction instead of a method call per property.
 func (t *Timing) Observe(info *StepInfo) {
 	in := info.Inst
 	op := in.Op
+	meta := &isa.Meta[op]
 
 	// Fetch: line-crossing I-cache charge.
 	if extra := t.iFetch(info.PC); extra > 0 {
@@ -226,10 +231,10 @@ func (t *Timing) Observe(info *StepInfo) {
 		earliest = t.fetchReady
 	}
 	var opndReady uint64
-	if op.HasRs1() && in.Rs1 != isa.R0 && t.regReady[in.Rs1] > opndReady {
+	if meta.HasRs1 && in.Rs1 != isa.R0 && t.regReady[in.Rs1] > opndReady {
 		opndReady = t.regReady[in.Rs1]
 	}
-	if op.HasRs2() && in.Rs2 != isa.R0 && t.regReady[in.Rs2] > opndReady {
+	if meta.HasRs2 && in.Rs2 != isa.R0 && t.regReady[in.Rs2] > opndReady {
 		opndReady = t.regReady[in.Rs2]
 	}
 	if op == isa.RET && t.regReady[isa.RRA] > opndReady {
@@ -243,7 +248,7 @@ func (t *Timing) Observe(info *StepInfo) {
 		t.advanceTo(earliest)
 	}
 	// Resource constraints: issue width and FU availability.
-	fu := op.FU()
+	fu := meta.FU
 	for t.slotsUsed >= t.cfg.IssueWidth || (fu != isa.FUNone && t.fuUsed[fu] >= t.fuLimit[fu]) {
 		t.nextCycle()
 	}
@@ -254,25 +259,31 @@ func (t *Timing) Observe(info *StepInfo) {
 	issueCycle := t.cycle
 
 	// Result latency.
-	lat := op.Latency()
+	lat := int(meta.Latency)
 	if op == isa.LD || op == isa.FLD {
 		lat = t.dLatency(info.MemAddr)
 	} else if op == isa.ST || op == isa.FST {
 		t.dLatency(info.MemAddr) // stores touch the cache; latency hidden
 		lat = 1
 	}
-	if d, ok := in.Defs(); ok {
+	if op == isa.CALL {
+		// CALL implicitly defines RRA (see Inst.Defs).
 		ready := issueCycle + uint64(lat)
-		if t.regReady[d] < ready {
-			t.regReady[d] = ready
+		if t.regReady[isa.RRA] < ready {
+			t.regReady[isa.RRA] = ready
+		}
+	} else if meta.HasRd && in.Rd != isa.R0 {
+		ready := issueCycle + uint64(lat)
+		if t.regReady[in.Rd] < ready {
+			t.regReady[in.Rd] = ready
 		}
 	}
 
 	// Control flow and prediction.
-	if op.IsControl() && op != isa.HALT {
+	if meta.IsControl && op != isa.HALT {
 		redirect := false
 		switch {
-		case op.IsCondBranch():
+		case meta.IsCondBranch:
 			t.Stats.CondBranches++
 			if !t.pred.PredictCond(info.PC, info.Taken) {
 				redirect = true
@@ -337,12 +348,27 @@ func (t *Timing) Finish() TimingStats {
 
 // RunTimed runs the program to completion on a fresh machine under this
 // timing model and returns the statistics. limit bounds retired
-// instructions (0 = unlimited).
+// instructions (0 = unlimited). The retire/observe loop is fused here so
+// Observe is a direct method call on the concrete Timing instead of an
+// indirect call through a func value for every retired instruction.
 func RunTimed(cfg Config, img *prog.Image, limit uint64) (TimingStats, *Machine, error) {
 	m := NewMachine(img)
 	t := NewTiming(cfg, img)
-	if err := m.Run(limit, t.Observe); err != nil {
-		return TimingStats{}, m, err
+	var info StepInfo
+	code := m.Img.Code
+	n := int64(len(code))
+	for !m.Halted {
+		if limit > 0 && m.InstCount >= limit {
+			return TimingStats{}, m, fmt.Errorf("cpu: instruction limit %d reached at pc %d", limit, m.PC)
+		}
+		pc := m.PC
+		if uint64(pc) >= uint64(n) {
+			return TimingStats{}, m, fmt.Errorf("cpu: PC %d outside code image (len %d)", pc, n)
+		}
+		if err := m.exec(code[pc], &info); err != nil {
+			return TimingStats{}, m, err
+		}
+		t.Observe(&info)
 	}
 	return t.Finish(), m, nil
 }

@@ -168,6 +168,40 @@ type opInfo struct {
 	hasRd, hasRs1, hasRs2, hasImm, hasTarget bool
 }
 
+// OpMeta is the flattened per-opcode metadata consulted on the simulator's
+// hottest paths (Machine.Step, Timing.Observe). Keeping everything in one
+// cache-line-friendly struct turns a handful of per-instruction method
+// calls into a single table load.
+type OpMeta struct {
+	FU           FUClass
+	Latency      uint8
+	HasRd        bool
+	HasRs1       bool
+	HasRs2       bool
+	IsControl    bool
+	IsCondBranch bool
+}
+
+// Meta is the flat opcode-indexed metadata table. It is sized 256 so that
+// indexing with any uint8-valued Opcode needs no bounds check; undefined
+// opcodes hold the zero OpMeta (FUNone, zero latency, no flags).
+var Meta [256]OpMeta
+
+func init() {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		info := opTable[op]
+		Meta[op] = OpMeta{
+			FU:           info.fu,
+			Latency:      uint8(info.latency),
+			HasRd:        info.hasRd,
+			HasRs1:       info.hasRs1,
+			HasRs2:       info.hasRs2,
+			IsControl:    op.isControlSlow(),
+			IsCondBranch: op.isCondBranchSlow(),
+		}
+	}
+}
+
 var opTable = [numOpcodes]opInfo{
 	NOP: {name: "nop", fu: FUNone, latency: 1},
 
@@ -264,7 +298,9 @@ func (op Opcode) HasTarget() bool { return op.Valid() && opTable[op].hasTarget }
 
 // IsCondBranch reports whether op is a conditional branch — the instruction
 // class profiled by the Branch Behavior Buffer.
-func (op Opcode) IsCondBranch() bool {
+func (op Opcode) IsCondBranch() bool { return Meta[op].IsCondBranch }
+
+func (op Opcode) isCondBranchSlow() bool {
 	switch op {
 	case BEQ, BNE, BLT, BGE:
 		return true
@@ -273,7 +309,9 @@ func (op Opcode) IsCondBranch() bool {
 }
 
 // IsControl reports whether op can redirect the program counter.
-func (op Opcode) IsControl() bool {
+func (op Opcode) IsControl() bool { return Meta[op].IsControl }
+
+func (op Opcode) isControlSlow() bool {
 	switch op {
 	case BEQ, BNE, BLT, BGE, JMP, CALL, RET, JR, HALT:
 		return true

@@ -1,0 +1,34 @@
+package isa
+
+import "testing"
+
+// TestMetaMatchesOpTable pins the flat Meta table to the per-opcode
+// methods and the canonical switch-based classifications it replaces on
+// the simulator's hot paths.
+func TestMetaMatchesOpTable(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m := Meta[op]
+		if m.FU != op.FU() {
+			t.Errorf("%v: Meta.FU = %v, FU() = %v", op, m.FU, op.FU())
+		}
+		if int(m.Latency) != op.Latency() {
+			t.Errorf("%v: Meta.Latency = %d, Latency() = %d", op, m.Latency, op.Latency())
+		}
+		if m.HasRd != op.HasRd() || m.HasRs1 != op.HasRs1() || m.HasRs2 != op.HasRs2() {
+			t.Errorf("%v: Meta operand flags disagree with methods", op)
+		}
+		if m.IsControl != op.isControlSlow() {
+			t.Errorf("%v: Meta.IsControl = %v, want %v", op, m.IsControl, op.isControlSlow())
+		}
+		if m.IsCondBranch != op.isCondBranchSlow() {
+			t.Errorf("%v: Meta.IsCondBranch = %v, want %v", op, m.IsCondBranch, op.isCondBranchSlow())
+		}
+	}
+	// Undefined opcodes carry the zero OpMeta so hot-path indexing by any
+	// uint8 value is safe and inert.
+	for op := int(numOpcodes); op < 256; op++ {
+		if Meta[op] != (OpMeta{}) {
+			t.Errorf("undefined opcode %d has non-zero Meta", op)
+		}
+	}
+}

@@ -5,12 +5,17 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/phasedb"
+	"repro/internal/prog"
 	"repro/internal/workload"
 )
 
@@ -22,7 +27,14 @@ type Options struct {
 	Benchmarks []string
 	// ScaleOverride forces every input's iteration scale (0 = input's own).
 	ScaleOverride int64
+	// Jobs bounds how many (benchmark, input) work items run concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces a fully sequential run
+	// (variants included). Results are assembled in paper order and are
+	// identical at every setting.
+	Jobs int
 	// Progress, when non-nil, receives one line per input as it finishes.
+	// Lines are serialized through a single writer; under a parallel run
+	// their order follows completion, not paper order.
 	Progress io.Writer
 }
 
@@ -55,6 +67,10 @@ type InputResult struct {
 	Base       cpu.TimingStats
 	Variants   []VariantResult
 	Categories phasedb.Categorization
+
+	// Elapsed is the wall-clock time this input took (profiling pass plus
+	// all variants); under a parallel run variant times overlap.
+	Elapsed time.Duration
 }
 
 // Full returns the result for the paper's default configuration
@@ -76,12 +92,37 @@ func (ir *InputResult) Full() *VariantResult {
 type Suite struct {
 	Machine cpu.Config
 	Results []InputResult
+	// Elapsed is the whole suite's wall-clock time; Jobs is the worker
+	// count the run actually used.
+	Elapsed time.Duration
+	Jobs    int
+}
+
+// TotalInsts sums the profiled dynamic instruction counts of every input.
+func (s *Suite) TotalInsts() uint64 {
+	var n uint64
+	for i := range s.Results {
+		n += s.Results[i].DynInsts
+	}
+	return n
+}
+
+// workItem is one (benchmark, input) unit of suite work, in paper order.
+type workItem struct {
+	b  *workload.Benchmark
+	in workload.Input
 }
 
 // RunSuite executes the pipeline for every benchmark input and variant.
 // Each input is profiled once (collecting baseline timing in the same
 // pass); each of the four variants then packages a fresh clone and is
-// timed.
+// timed, concurrently with the other variants when Jobs != 1.
+//
+// Work items fan out over a bounded worker pool. Results are assembled in
+// deterministic paper order regardless of completion order, and per-input
+// failures are aggregated (also in paper order) instead of aborting the
+// rest of the suite; on any failure the aggregated error is returned and
+// the suite is nil.
 func RunSuite(opts Options) (*Suite, error) {
 	benches := workload.Ordered()
 	if len(opts.Benchmarks) > 0 {
@@ -95,28 +136,96 @@ func RunSuite(opts Options) (*Suite, error) {
 		}
 		benches = sel
 	}
-	suite := &Suite{Machine: opts.Machine}
+	var items []workItem
 	for _, b := range benches {
 		for _, in := range b.Inputs {
 			if opts.ScaleOverride > 0 {
 				in.Scale = opts.ScaleOverride
 			}
-			ir, err := runInput(opts, b, in)
-			if err != nil {
-				return nil, fmt.Errorf("report: %s/%s: %w", b.Name, in.Name, err)
-			}
-			suite.Results = append(suite.Results, *ir)
-			if opts.Progress != nil {
-				full := ir.Full()
-				fmt.Fprintf(opts.Progress, "%-9s %s  %8d insts  %2d phases  cov %5.1f%%  speedup %.3f\n",
-					b.Name, in.Name, ir.DynInsts, ir.Phases, full.Coverage*100, full.Speedup)
-			}
+			items = append(items, workItem{b: b, in: in})
 		}
+	}
+
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(items) {
+		jobs = len(items)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	start := time.Now()
+	results := make([]*InputResult, len(items))
+	errs := make([]error, len(items))
+
+	// Progress lines from concurrent workers funnel through one writer
+	// guarded by a mutex so lines never interleave mid-row.
+	var progressMu sync.Mutex
+	report := func(idx int, ir *InputResult) {
+		results[idx] = ir
+		if opts.Progress == nil {
+			return
+		}
+		full := ir.Full()
+		progressMu.Lock()
+		fmt.Fprintf(opts.Progress, "%-9s %s  %8d insts  %2d phases  cov %5.1f%%  speedup %.3f\n",
+			ir.Bench, ir.Input, ir.DynInsts, ir.Phases, full.Coverage*100, full.Speedup)
+		progressMu.Unlock()
+	}
+
+	if jobs == 1 {
+		for idx, it := range items {
+			ir, err := runInput(opts, it.b, it.in, false)
+			if err != nil {
+				errs[idx] = fmt.Errorf("report: %s/%s: %w", it.b.Name, it.in.Name, err)
+				continue
+			}
+			report(idx, ir)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range work {
+					it := items[idx]
+					ir, err := runInput(opts, it.b, it.in, true)
+					if err != nil {
+						errs[idx] = fmt.Errorf("report: %s/%s: %w", it.b.Name, it.in.Name, err)
+						continue
+					}
+					report(idx, ir)
+				}
+			}()
+		}
+		for idx := range items {
+			work <- idx
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	suite := &Suite{Machine: opts.Machine, Jobs: jobs, Elapsed: time.Since(start)}
+	for _, ir := range results {
+		suite.Results = append(suite.Results, *ir)
 	}
 	return suite, nil
 }
 
-func runInput(opts Options, b *workload.Benchmark, in workload.Input) (*InputResult, error) {
+// runInput profiles one input once and then evaluates the four variants,
+// concurrently when parallel is set. The profiled program, its image and
+// the phase database are shared read-only across variants; each variant
+// packages and times its own clone.
+func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel bool) (*InputResult, error) {
+	start := time.Now()
 	p := b.Build(in)
 	img, err := p.Linearize()
 	if err != nil {
@@ -142,45 +251,71 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input) (*InputRes
 		Categories: db.Categorize(),
 	}
 
-	for _, v := range core.Variants() {
-		cfg := v.Apply(opts.Core)
-		clone := p.Clone()
-		// The clone linearizes identically to the profiled program (IDs
-		// and layout are preserved), so the phase database's PCs map onto
-		// the clone's own image.
-		cloneImg, err := clone.Linearize()
-		if err != nil {
-			return nil, fmt.Errorf("variant %s: %w", v.Name(), err)
+	variants := core.Variants()
+	ir.Variants = make([]VariantResult, len(variants))
+	verrs := make([]error, len(variants))
+	if parallel {
+		var wg sync.WaitGroup
+		for i, v := range variants {
+			wg.Add(1)
+			go func(i int, v core.Variant) {
+				defer wg.Done()
+				ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v)
+			}(i, v)
 		}
-		out := &core.Outcome{Original: p, Packed: clone, DB: db}
-		if err := core.Package(cfg, out, clone, cloneImg, db); err != nil {
-			return nil, fmt.Errorf("variant %s: %w", v.Name(), err)
+		wg.Wait()
+	} else {
+		for i, v := range variants {
+			ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v)
 		}
-		packedImg, err := clone.Linearize()
-		if err != nil {
-			return nil, fmt.Errorf("variant %s: %w", v.Name(), err)
-		}
-		stats, m, err := cpu.RunTimed(opts.Machine, packedImg, 0)
-		if err != nil {
-			return nil, fmt.Errorf("variant %s: timed run: %w", v.Name(), err)
-		}
-		h, n := m.DataHash()
-		vr := VariantResult{
-			Variant:    v,
-			Coverage:   stats.PackageCoverage(),
-			Growth:     out.Pack.CodeGrowth(),
-			Selected:   out.Pack.SelectedFraction(),
-			Repl:       out.Pack.Replication(),
-			Packages:   len(out.Pack.Packages),
-			Links:      out.Pack.Links,
-			Launch:     out.Pack.LaunchPoints,
-			Phases:     len(out.Regions),
-			Equivalent: h == st.DataHash && n == st.DataStores,
-		}
-		if stats.Cycles > 0 {
-			vr.Speedup = float64(base.Cycles) / float64(stats.Cycles)
-		}
-		ir.Variants = append(ir.Variants, vr)
 	}
+	if err := errors.Join(verrs...); err != nil {
+		return nil, err
+	}
+	ir.Elapsed = time.Since(start)
 	return ir, nil
+}
+
+// runVariant packages a fresh clone of the profiled program under one
+// variant configuration and times it against the shared baseline. p, db
+// and st are read-only here.
+func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileStats, base cpu.TimingStats, v core.Variant) (VariantResult, error) {
+	cfg := v.Apply(opts.Core)
+	clone := p.Clone()
+	// The clone linearizes identically to the profiled program (IDs
+	// and layout are preserved), so the phase database's PCs map onto
+	// the clone's own image.
+	cloneImg, err := clone.Linearize()
+	if err != nil {
+		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
+	}
+	out := &core.Outcome{Original: p, Packed: clone, DB: db}
+	if err := core.Package(cfg, out, clone, cloneImg, db); err != nil {
+		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
+	}
+	packedImg, err := clone.Linearize()
+	if err != nil {
+		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
+	}
+	stats, m, err := cpu.RunTimed(opts.Machine, packedImg, 0)
+	if err != nil {
+		return VariantResult{}, fmt.Errorf("variant %s: timed run: %w", v.Name(), err)
+	}
+	h, n := m.DataHash()
+	vr := VariantResult{
+		Variant:    v,
+		Coverage:   stats.PackageCoverage(),
+		Growth:     out.Pack.CodeGrowth(),
+		Selected:   out.Pack.SelectedFraction(),
+		Repl:       out.Pack.Replication(),
+		Packages:   len(out.Pack.Packages),
+		Links:      out.Pack.Links,
+		Launch:     out.Pack.LaunchPoints,
+		Phases:     len(out.Regions),
+		Equivalent: h == st.DataHash && n == st.DataStores,
+	}
+	if stats.Cycles > 0 {
+		vr.Speedup = float64(base.Cycles) / float64(stats.Cycles)
+	}
+	return vr, nil
 }

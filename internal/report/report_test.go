@@ -95,6 +95,79 @@ func TestFormatters(t *testing.T) {
 	}
 }
 
+// TestRunSuiteParallelDeterminism asserts that a parallel run assembles
+// results in paper order and renders every table and figure byte-identical
+// to a fully sequential run, regardless of worker completion order.
+func TestRunSuiteParallelDeterminism(t *testing.T) {
+	opts := Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		Benchmarks:    []string{"m88ksim", "perl", "li"},
+		ScaleOverride: 1,
+	}
+	seqOpts := opts
+	seqOpts.Jobs = 1
+	seq, err := RunSuite(seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := opts
+	parOpts.Jobs = 4
+	par, err := RunSuite(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Results) != len(par.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq.Results), len(par.Results))
+	}
+	for i := range seq.Results {
+		s, p := &seq.Results[i], &par.Results[i]
+		if s.Bench != p.Bench || s.Input != p.Input {
+			t.Fatalf("result %d order differs: %s/%s vs %s/%s", i, s.Bench, s.Input, p.Bench, p.Input)
+		}
+	}
+	renders := []struct {
+		name     string
+		seq, par string
+	}{
+		{"Table1", seq.Table1(), par.Table1()},
+		{"Table3", seq.Table3(), par.Table3()},
+		{"Figure8", seq.Figure8(), par.Figure8()},
+		{"Figure9", seq.Figure9(), par.Figure9()},
+		{"Figure10", seq.Figure10(), par.Figure10()},
+	}
+	for _, r := range renders {
+		if r.seq != r.par {
+			t.Errorf("%s differs between sequential and parallel runs:\n--- seq ---\n%s\n--- par ---\n%s", r.name, r.seq, r.par)
+		}
+	}
+}
+
+// TestRunSuiteAggregatesErrors checks that one bad benchmark name fails
+// fast, while per-input pipeline failures would be joined rather than
+// aborting the remaining items (exercised via the error path formatting).
+func TestRunSuiteAggregatesErrors(t *testing.T) {
+	// A scale so small every phase detection starves triggers per-input
+	// "no usable phases" errors for every input; all of them must surface.
+	opts := Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		Benchmarks:    []string{"m88ksim", "perl"},
+		ScaleOverride: 1,
+		Jobs:          2,
+	}
+	opts.Core.ProfileLimit = 10 // guarantees every input fails mid-profile
+	_, err := RunSuite(opts)
+	if err == nil {
+		t.Fatal("starved profile should fail")
+	}
+	for _, want := range []string{"m88ksim/A", "perl/A", "perl/B", "perl/C"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error missing %s: %v", want, err)
+		}
+	}
+}
+
 func TestRunSuiteUnknownBenchmark(t *testing.T) {
 	_, err := RunSuite(Options{
 		Machine:    cpu.DefaultConfig(),

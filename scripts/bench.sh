@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the perf-regression benchmark set and refreshes BENCH_pipeline.json.
+#
+# The JSON file is a trajectory: `history` entries are curated by hand (one
+# per PR that moved a number) and preserved across refreshes; `latest` is
+# overwritten with this run's suite timing by vpbench -benchjson.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+
+echo "== interpreter hot-loop microbenchmarks (internal/cpu) =="
+go test -run '^$' \
+  -bench 'BenchmarkMachineStep|BenchmarkMachineRunTimed|BenchmarkMemory|BenchmarkCacheAccess|BenchmarkTimingObserve' \
+  -benchtime "$BENCHTIME" ./internal/cpu/
+
+echo
+echo "== detector, timed-run and suite-parallelism benches (repo root) =="
+go test -run '^$' \
+  -bench 'BenchmarkTable2Machine|BenchmarkHSDThroughput|BenchmarkSuiteJobs' \
+  -benchtime "$BENCHTIME" .
+
+echo
+echo "== full suite wall time (scale 1, default -j) =="
+go run ./cmd/vpbench -q -scale 1 -benchjson BENCH_pipeline.json >/dev/null
+echo "BENCH_pipeline.json refreshed:"
+grep -E '"wall_seconds"|"jobs"|"insts_per_second"' BENCH_pipeline.json | tail -3

@@ -7,9 +7,11 @@
 //
 //	vpack -bench perl -input A [-scale N] [-noinfer] [-nolink] [-v]
 //	vpack -asm program.vpasm [-v]
+//	vpack -bench perl -trace out.json   # JSON span/event/metric trace
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,25 +19,56 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
 	"repro/internal/workload"
 )
 
+// tracing carries the optional -trace recorder; flush writes whatever has
+// been recorded so far, so even a failed run leaves a usable trace.
+var tracing struct {
+	rec  *obs.Recorder
+	path string
+}
+
+func flushTrace() {
+	if tracing.rec == nil {
+		return
+	}
+	f, err := os.Create(tracing.path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpack: trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := tracing.rec.Export().WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "vpack: trace:", err)
+	}
+}
+
 func main() {
 	var (
-		asmPath = flag.String("asm", "", "run a hand-written VPIR assembly file instead of a benchmark")
-		bench   = flag.String("bench", "perl", "benchmark name (see -list)")
-		input   = flag.String("input", "A", "input name: A, B or C")
-		scale   = flag.Int64("scale", 0, "override the input's iteration scale")
-		noInfer = flag.Bool("noinfer", false, "disable temperature inference")
-		noLink  = flag.Bool("nolink", false, "disable package linking")
-		dynL    = flag.Bool("dynlaunch", false, "use dynamic launch-point selection instead of static links")
-		noOpt   = flag.Bool("noopt", false, "disable layout and rescheduling")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		verbose = flag.Bool("v", false, "per-phase and per-package detail")
+		asmPath   = flag.String("asm", "", "run a hand-written VPIR assembly file instead of a benchmark")
+		bench     = flag.String("bench", "perl", "benchmark name (see -list)")
+		input     = flag.String("input", "A", "input name: A, B or C")
+		scale     = flag.Int64("scale", 0, "override the input's iteration scale")
+		noInfer   = flag.Bool("noinfer", false, "disable temperature inference")
+		noLink    = flag.Bool("nolink", false, "disable package linking")
+		dynL      = flag.Bool("dynlaunch", false, "use dynamic launch-point selection instead of static links")
+		noOpt     = flag.Bool("noopt", false, "disable layout and rescheduling")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		verbose   = flag.Bool("v", false, "per-phase and per-package detail")
+		tracePath = flag.String("trace", "", "write a JSON span/event/metric trace of the run to `file`")
 	)
 	flag.Parse()
+
+	var o obs.Observer = obs.Nop{}
+	if *tracePath != "" {
+		tracing.rec = obs.NewRecorder()
+		tracing.path = *tracePath
+		o = tracing.rec
+	}
 
 	if *list {
 		for _, b := range workload.Ordered() {
@@ -89,8 +122,11 @@ func main() {
 	fmt.Printf("%s: %d funcs, %d blocks, %d static insts\n",
 		title, len(p.Funcs), p.NumBlocks(), p.NumInsts())
 
-	out, err := core.Run(cfg, p)
+	out, err := core.RunObserved(cfg, p, o)
 	if err != nil {
+		if errors.Is(err, core.ErrNoPhases) || errors.Is(err, core.ErrNoPackages) {
+			fmt.Fprintln(os.Stderr, "vpack: hint: the run may be too short for the detector; raise -scale")
+		}
 		fatal(err)
 	}
 	fmt.Printf("profile: %d insts, %d cond branches, %d raw detections -> %d phases (%d redundant, %d skipped)\n",
@@ -125,7 +161,7 @@ func main() {
 		out.Pack.OrigInsts, out.Pack.AddedInsts, out.Pack.CodeGrowth()*100,
 		out.Pack.SelectedInsts, out.Pack.SelectedFraction()*100, out.Pack.Replication())
 
-	ev, err := out.Evaluate(cpu.DefaultConfig(), 0)
+	ev, err := out.EvaluateObserved(cpu.DefaultConfig(), 0, o)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,9 +179,11 @@ func main() {
 		fmt.Printf(" %s=%.1f%%", c, cz.Fraction(c)*100)
 	}
 	fmt.Println()
+	flushTrace()
 }
 
 func fatal(err error) {
+	flushTrace()
 	fmt.Fprintln(os.Stderr, "vpack:", err)
 	os.Exit(1)
 }

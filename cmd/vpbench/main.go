@@ -11,20 +11,25 @@
 //	vpbench -j 4            # run 4 inputs concurrently (default GOMAXPROCS)
 //	vpbench -benchjson f    # write machine-readable timing JSON to f
 //	vpbench -cpuprofile f   # write a pprof CPU profile of the run to f
+//	vpbench -metrics        # per-stage wall-time and counter tables
+//	vpbench -trace f        # write the suite's JSON span/event trace to f
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -63,6 +68,8 @@ func main() {
 		benchjson  = flag.String("benchjson", "", "write machine-readable suite timing JSON to `file`")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
+		metrics    = flag.Bool("metrics", false, "print per-stage wall-time and counter tables after the suite")
+		tracePath  = flag.String("trace", "", "write the suite's JSON span/event/metric trace to `file`")
 	)
 	flag.Parse()
 
@@ -97,9 +104,22 @@ func main() {
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
+	var rec *obs.Recorder
+	if *metrics || *tracePath != "" {
+		rec = obs.NewRecorder()
+		opts.Observer = rec
+	}
 
 	suite, err := report.RunSuite(opts)
+	if rec != nil && *tracePath != "" {
+		if werr := writeTrace(*tracePath, rec); werr != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: trace:", werr)
+		}
+	}
 	if err != nil {
+		if errors.Is(err, core.ErrNoPhases) || errors.Is(err, core.ErrNoPackages) {
+			fmt.Fprintln(os.Stderr, "vpbench: hint: some inputs were too short for the detector; raise -scale")
+		}
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
 	}
@@ -124,6 +144,13 @@ func main() {
 		f.Close()
 	}
 
+	if *metrics {
+		printMetrics(rec.Export())
+		if *table == 0 && *figure == 0 {
+			return
+		}
+	}
+
 	switch {
 	case *table == 1:
 		fmt.Print(suite.Table1())
@@ -145,6 +172,68 @@ func main() {
 		fmt.Println(suite.Table3())
 		fmt.Println(suite.Figure9())
 		fmt.Println(suite.Figure10())
+	}
+}
+
+// writeTrace dumps the recorder's trace as indented JSON.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.Export().WriteJSON(f)
+}
+
+// printMetrics renders the per-stage wall-time table (canonical stages
+// first, other spans after) and the counter/gauge tables.
+func printMetrics(t *obs.Trace) {
+	totals := t.SpanTotals()
+	byName := make(map[string]obs.SpanTotal, len(totals))
+	for _, st := range totals {
+		byName[st.Name] = st
+	}
+	fmt.Println("stage                        spans      total wall")
+	seen := make(map[string]bool)
+	for _, name := range obs.Stages() {
+		if st, ok := byName[name]; ok {
+			fmt.Printf("%-26s %6d  %14v\n", st.Name, st.Count, st.Total.Round(time.Microsecond))
+			seen[name] = true
+		}
+	}
+	other := 0
+	var otherTotal time.Duration
+	for _, st := range totals {
+		if !seen[st.Name] {
+			other += st.Count
+			otherTotal += st.Total
+		}
+	}
+	if other > 0 {
+		fmt.Printf("%-26s %6d  %14v\n", "(input/variant spans)", other, otherTotal.Round(time.Microsecond))
+	}
+
+	if len(t.Metrics.Counters) > 0 {
+		fmt.Println("\ncounter                                 value")
+		names := make([]string, 0, len(t.Metrics.Counters))
+		for name := range t.Metrics.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-34s %10d\n", name, t.Metrics.Counters[name])
+		}
+	}
+	if len(t.Metrics.Gauges) > 0 {
+		fmt.Println("\ngauge                                   value")
+		names := make([]string, 0, len(t.Metrics.Gauges))
+		for name := range t.Metrics.Gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-34s %10.3f\n", name, t.Metrics.Gauges[name])
+		}
 	}
 }
 

@@ -17,13 +17,43 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/region"
 	"repro/internal/workload"
 )
+
+// printProfileStats reports the profiling run on stderr (stdout carries
+// the DOT graph).
+func printProfileStats(st core.ProfileStats, phases int) {
+	fmt.Fprintf(os.Stderr, "profile: %d insts, %d cond branches, %d raw detections -> %d phases\n",
+		st.Insts, st.Branches, st.Detections, phases)
+}
+
+// printStageStats reports per-stage wall times and per-phase skip reasons
+// gathered during an observed pipeline run on stderr.
+func printStageStats(t *obs.Trace) {
+	byName := make(map[string]time.Duration)
+	for _, st := range t.SpanTotals() {
+		byName[st.Name] = st.Total
+	}
+	fmt.Fprintf(os.Stderr, "stages:")
+	for _, name := range obs.Stages() {
+		if d, ok := byName[name]; ok && name != obs.StageSuite && name != obs.StagePipeline {
+			fmt.Fprintf(os.Stderr, " %s=%v", name, d.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, e := range t.Events {
+		if e.Kind == obs.PhaseSkipped.String() {
+			fmt.Fprintf(os.Stderr, "phase %d skipped: %s\n", e.Phase, e.Name)
+		}
+	}
+}
 
 func main() {
 	var (
@@ -60,7 +90,17 @@ func main() {
 
 	cfg := core.ScaledConfig()
 	if *pkgIdx >= 0 {
-		out, err := core.Run(cfg, p)
+		rec := obs.NewRecorder()
+		out, err := core.RunObserved(cfg, p, rec)
+		if out != nil {
+			printProfileStats(core.ProfileStats{
+				Insts: out.ProfileInsts, Branches: out.ProfileBranches, Detections: out.Detections,
+			}, len(out.DB.Phases))
+			printStageStats(rec.Export())
+			if out.SkippedPhases > 0 {
+				fmt.Fprintf(os.Stderr, "%d phases skipped in total\n", out.SkippedPhases)
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +118,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		db, _, err := core.Profile(cfg, img, nil)
+		db, st, err := core.Profile(cfg, img, nil)
+		if db != nil {
+			printProfileStats(st, len(db.Phases))
+		}
 		if err != nil {
 			fatal(err)
 		}

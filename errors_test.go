@@ -1,0 +1,36 @@
+package vacuumpack
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/report"
+)
+
+// TestSentinelErrorsThroughSuite asserts the facade's sentinel errors
+// survive every wrapping layer: core wraps them with %w, RunSuite wraps
+// per-input and aggregates with errors.Join, and errors.Is still matches.
+func TestSentinelErrorsThroughSuite(t *testing.T) {
+	opts := report.Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          ScaledConfig(),
+		Benchmarks:    []string{"gzip"},
+		ScaleOverride: 1,
+		Jobs:          2,
+	}
+	// A candidate threshold above any reachable counter value means the
+	// detector never fires, so the pipeline fails with ErrNoPhases.
+	opts.Core.Detector.CounterBits = 31
+	opts.Core.Detector.CandidateThreshold = 1 << 30
+	_, err := report.RunSuite(opts)
+	if err == nil {
+		t.Fatal("candidate-starved detector should fail the suite")
+	}
+	if !errors.Is(err, ErrNoPhases) {
+		t.Errorf("errors.Is(err, vacuumpack.ErrNoPhases) = false for %v", err)
+	}
+	if errors.Is(err, ErrNoPackages) {
+		t.Errorf("err unexpectedly matches ErrNoPackages: %v", err)
+	}
+}

@@ -6,16 +6,30 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/cpu"
 	"repro/internal/hsd"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/pack"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
 	"repro/internal/region"
+)
+
+// Sentinel pipeline failures. They are always wrapped with detail via %w,
+// so match them with errors.Is rather than string comparison.
+var (
+	// ErrNoPhases reports that region identification left no usable
+	// phase: either the profile detected none, or every detected phase
+	// was skipped.
+	ErrNoPhases = errors.New("no usable phases detected")
+	// ErrNoPackages reports that package construction failed for every
+	// identified region.
+	ErrNoPackages = errors.New("no packages constructed")
 )
 
 // Config gathers every pipeline knob. The zero value is not useful; start
@@ -157,9 +171,30 @@ type ProfileStats struct {
 // (§3.1) and returns the filtered phase database. obs, when non-nil,
 // receives every retired instruction — the benchmark harness uses it to
 // collect baseline timing in the same pass.
-func Profile(cfg Config, img *prog.Image, obs func(*cpu.StepInfo)) (*phasedb.DB, ProfileStats, error) {
+func Profile(cfg Config, img *prog.Image, obsFn func(*cpu.StepInfo)) (*phasedb.DB, ProfileStats, error) {
+	return ProfileObserved(cfg, img, obsFn, obs.Nop{})
+}
+
+// ProfileObserved is Profile reporting to an observer: the run executes
+// inside a "profile" span, every unique phase emits a PhaseDetected event
+// and every software-filtered (redundant) detection a PhaseFiltered
+// event, and the profile.* counters summarize the run.
+func ProfileObserved(cfg Config, img *prog.Image, obsFn func(*cpu.StepInfo), o obs.Observer) (*phasedb.DB, ProfileStats, error) {
+	sp := o.StartSpan(obs.StageProfile)
+	defer sp.End()
 	db := phasedb.New(cfg.Filter)
 	record := func(h hsd.HotSpot) { db.Record(h) }
+	if o.Enabled() {
+		record = func(h hsd.HotSpot) {
+			before := len(db.Phases)
+			ph := db.Record(h)
+			kind := obs.PhaseDetected
+			if len(db.Phases) == before {
+				kind = obs.PhaseFiltered
+			}
+			o.Emit(obs.Event{Kind: kind, Phase: ph.ID, N: 1})
+		}
+	}
 	if cfg.HistoryDepth > 0 {
 		sim := cfg.HistorySimilarity
 		if sim == 0 {
@@ -174,8 +209,8 @@ func Profile(cfg Config, img *prog.Image, obs func(*cpu.StepInfo)) (*phasedb.DB,
 			det.SetInstCount(m.InstCount)
 			det.Branch(si.PC, si.Taken)
 		}
-		if obs != nil {
-			obs(si)
+		if obsFn != nil {
+			obsFn(si)
 		}
 	})
 	st := ProfileStats{
@@ -184,6 +219,11 @@ func Profile(cfg Config, img *prog.Image, obs func(*cpu.StepInfo)) (*phasedb.DB,
 		Detections: det.Stats.Detections,
 	}
 	st.DataHash, st.DataStores = m.DataHash()
+	o.Count("profile.insts", int64(st.Insts))
+	o.Count("profile.branches", int64(st.Branches))
+	o.Count("profile.detections", int64(st.Detections))
+	o.Count("profile.phases", int64(len(db.Phases)))
+	o.Count("profile.redundant", int64(db.Redundant))
 	if err != nil {
 		return nil, st, fmt.Errorf("core: profiling run: %w", err)
 	}
@@ -192,14 +232,24 @@ func Profile(cfg Config, img *prog.Image, obs func(*cpu.StepInfo)) (*phasedb.DB,
 
 // Run executes the full pipeline on p. p is mutated into the packed
 // program; the returned Outcome carries a pristine clone for baselines.
+// It is a thin no-op-observer wrapper around RunObserved.
 func Run(cfg Config, p *prog.Program) (*Outcome, error) {
+	return RunObserved(cfg, p, obs.Nop{})
+}
+
+// RunObserved is Run reporting spans, events and metrics for every stage
+// to an observer. Pass obs.Nop{} (or call Run) when observability is off;
+// the disabled path adds no allocations.
+func RunObserved(cfg Config, p *prog.Program, o obs.Observer) (*Outcome, error) {
+	sp := o.StartSpan(obs.StagePipeline)
+	defer sp.End()
 	out := &Outcome{Original: p.Clone(), Packed: p}
 
 	img, err := p.Linearize()
 	if err != nil {
 		return nil, fmt.Errorf("core: linearize: %w", err)
 	}
-	db, st, err := Profile(cfg, img, nil)
+	db, st, err := ProfileObserved(cfg, img, nil, o)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +257,7 @@ func Run(cfg Config, p *prog.Program) (*Outcome, error) {
 	out.ProfileInsts = st.Insts
 	out.ProfileBranches = st.Branches
 	out.Detections = st.Detections
-	if err := Package(cfg, out, p, img, db); err != nil {
+	if err := PackageObserved(cfg, out, p, img, db, o); err != nil {
 		return out, err
 	}
 	return out, nil
@@ -218,75 +268,99 @@ func Run(cfg Config, p *prog.Program) (*Outcome, error) {
 // database's PCs must have been gathered on an image that linearizes
 // identically to p — a Clone of the profiled program qualifies.
 func Package(cfg Config, out *Outcome, p *prog.Program, img *prog.Image, db *phasedb.DB) error {
-	// Step 2: region identification per unique phase (§3.2).
+	return PackageObserved(cfg, out, p, img, db, obs.Nop{})
+}
+
+// passes translates the configuration's optimization knobs into the opt
+// package's pass selection.
+func (cfg Config) passes() opt.Passes {
+	return opt.Passes{
+		Merge:           cfg.EnableMerge,
+		Sink:            cfg.EnableSink,
+		Layout:          cfg.EnableLayout,
+		Schedule:        cfg.EnableSchedule,
+		Approx:          cfg.ApproxWeights,
+		Sched:           cfg.Sched,
+		EntrySeedWeight: cfg.EntrySeedWeight,
+	}
+}
+
+// PackageObserved is Package reporting to an observer: the filter, region,
+// package, link and optimize stages each run inside their span, and
+// skipped phases emit PhaseSkipped events carrying the reason.
+func PackageObserved(cfg Config, out *Outcome, p *prog.Program, img *prog.Image, db *phasedb.DB, o obs.Observer) error {
+	// Phase selection: order by detection weight and apply the MaxPhases
+	// cap. The software filter proper runs inline during profiling; this
+	// is its post-pass over the accumulated database.
+	fsp := o.StartSpan(obs.StageFilter)
 	phases := append([]*phasedb.Phase(nil), db.Phases...)
 	sort.SliceStable(phases, func(i, j int) bool {
 		return phases[i].Detections > phases[j].Detections
 	})
 	if cfg.MaxPhases > 0 && len(phases) > cfg.MaxPhases {
+		o.Count("filter.capped_phases", int64(len(phases)-cfg.MaxPhases))
 		phases = phases[:cfg.MaxPhases]
 	}
+	o.Count("filter.selected_phases", int64(len(phases)))
+	fsp.End()
+
+	// Step 2: region identification per unique phase (§3.2).
+	rsp := o.StartSpan(obs.StageRegion)
 	regByPhase := make(map[int]*region.Region)
 	for _, ph := range phases {
-		r, err := region.Identify(cfg.Region, img, ph)
+		r, err := region.IdentifyObserved(cfg.Region, img, ph, o)
 		if err != nil {
 			out.SkippedPhases++
+			o.Emit(obs.Event{Kind: obs.PhaseSkipped, Phase: ph.ID, Name: err.Error()})
+			o.Count("region.skipped_phases", 1)
 			continue
 		}
 		out.Regions = append(out.Regions, r)
 		regByPhase[ph.ID] = r
 	}
+	rsp.End()
 	if len(out.Regions) == 0 {
-		return fmt.Errorf("core: no usable phases detected (%d phases, %d skipped)", len(db.Phases), out.SkippedPhases)
+		return fmt.Errorf("core: %w (%d phases, %d skipped)", ErrNoPhases, len(db.Phases), out.SkippedPhases)
 	}
 
 	// Step 3: package construction (§3.3).
+	psp := o.StartSpan(obs.StagePackage)
 	var pkgs []*pack.Package
 	for _, r := range out.Regions {
-		ps, err := pack.BuildPhase(cfg.Pack, p, r)
+		ps, err := pack.BuildPhaseObserved(cfg.Pack, p, r, o)
 		if err != nil {
 			out.SkippedPhases++
+			o.Emit(obs.Event{Kind: obs.PhaseSkipped, Phase: r.PhaseID, Name: err.Error()})
+			o.Count("pack.skipped_phases", 1)
 			continue
 		}
 		pkgs = append(pkgs, ps...)
 	}
+	psp.End()
 	if len(pkgs) == 0 {
-		return fmt.Errorf("core: no packages constructed")
+		return fmt.Errorf("core: %w", ErrNoPackages)
 	}
-	res, err := pack.Install(cfg.Pack, p, pkgs)
+	res, err := pack.InstallObserved(cfg.Pack, p, pkgs, o)
 	if err != nil {
 		return err
 	}
 	out.Pack = res
 
 	// Optimization (§5.4): weight calculation, relayout, rescheduling.
+	osp := o.StartSpan(obs.StageOptimize)
+	ps := cfg.passes()
 	for _, pk := range res.Packages {
 		r := regByPhase[pk.PhaseID]
 		if r == nil {
 			continue
 		}
-		prob := opt.ProbFromRegion(r)
-		if cfg.EnableMerge {
-			opt.MergeBlocks(p, pk.Fn)
+		entries := make([]*prog.Block, 0, len(pk.Entries))
+		for _, c := range pk.Entries {
+			entries = append(entries, c)
 		}
-		if cfg.EnableSink {
-			opt.SinkColdCode(pk.Fn)
-		}
-		if cfg.EnableLayout {
-			seed := make(map[*prog.Block]float64)
-			for _, c := range pk.Entries {
-				seed[c] = cfg.EntrySeedWeight
-			}
-			if e := pk.Fn.Entry(); e != nil && len(seed) == 0 {
-				seed[e] = cfg.EntrySeedWeight
-			}
-			w := opt.WeightsFor(cfg.ApproxWeights, pk.Fn, prob, seed)
-			opt.Layout(pk.Fn, w, prob)
-		}
-		if cfg.EnableSchedule {
-			opt.Schedule(pk.Fn, cfg.Sched)
-		}
+		opt.ApplyPasses(ps, p, pk.Fn, entries, r, o)
 	}
+	osp.End()
 
 	if err := p.Verify(); err != nil {
 		return fmt.Errorf("core: packed program invalid: %w", err)
@@ -311,6 +385,14 @@ type Evaluation struct {
 // Evaluate times both programs to completion under the machine model and
 // checks functional equivalence. limit bounds each run (0 = unlimited).
 func (o *Outcome) Evaluate(mc cpu.Config, limit uint64) (*Evaluation, error) {
+	return o.EvaluateObserved(mc, limit, obs.Nop{})
+}
+
+// EvaluateObserved is Evaluate inside an "evaluate" span, recording the
+// eval.* counters and the eval.speedup / eval.coverage gauges.
+func (o *Outcome) EvaluateObserved(mc cpu.Config, limit uint64, ob obs.Observer) (*Evaluation, error) {
+	sp := ob.StartSpan(obs.StageEvaluate)
+	defer sp.End()
 	baseImg, err := o.Original.Linearize()
 	if err != nil {
 		return nil, fmt.Errorf("core: linearize original: %w", err)
@@ -338,5 +420,9 @@ func (o *Outcome) Evaluate(mc cpu.Config, limit uint64) (*Evaluation, error) {
 	if packedStats.Cycles > 0 {
 		ev.Speedup = float64(baseStats.Cycles) / float64(packedStats.Cycles)
 	}
+	ob.Count("eval.base_cycles", int64(baseStats.Cycles))
+	ob.Count("eval.packed_cycles", int64(packedStats.Cycles))
+	ob.Gauge("eval.speedup", ev.Speedup)
+	ob.Gauge("eval.coverage", ev.Coverage)
 	return ev, nil
 }

@@ -72,12 +72,12 @@ func TestMemoryFastPathRandomAccess(t *testing.T) {
 	paged.noFast = true
 
 	regions := []int64{
-		prog.DataBase,                      // dense data window
+		prog.DataBase,                       // dense data window
 		prog.DataBase + maxDenseDataWords*8, // just past the dense cap
-		prog.StackBase - 8,                 // dense stack window (grows down)
-		prog.ScratchBase,                   // paged scratch
-		1 << 40,                            // far sparse page
-		0,                                  // low memory, below DataBase
+		prog.StackBase - 8,                  // dense stack window (grows down)
+		prog.ScratchBase,                    // paged scratch
+		1 << 40,                             // far sparse page
+		0,                                   // low memory, below DataBase
 	}
 	state := uint64(0x9e3779b97f4a7c15)
 	next := func() uint64 {

@@ -1,0 +1,60 @@
+package opt
+
+import (
+	"repro/internal/obs"
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// Passes selects and parameterizes the §5.4 package-optimization passes.
+// core.Config translates its Enable* knobs into this.
+type Passes struct {
+	Merge    bool
+	Sink     bool
+	Layout   bool
+	Schedule bool
+	// Approx swaps the damped iterative weight solver for the single-pass
+	// approximation when Layout is on.
+	Approx bool
+	Sched  Resources
+	// EntrySeedWeight seeds weight propagation at package entries.
+	EntrySeedWeight float64
+}
+
+// ApplyPasses runs the selected passes over one package function, using
+// the region's arc temperatures as branch probabilities. entries are the
+// package's entry blocks (weight-propagation seeds); when empty the
+// function entry is seeded instead. Each applied pass emits a PassApplied
+// event (N = blocks merged, instructions sunk, or blocks touched) and
+// bumps the opt.* counters on o.
+func ApplyPasses(ps Passes, p *prog.Program, fn *prog.Func, entries []*prog.Block, r *region.Region, o obs.Observer) {
+	prob := ProbFromRegion(r)
+	if ps.Merge {
+		n := MergeBlocks(p, fn)
+		o.Emit(obs.Event{Kind: obs.PassApplied, Phase: r.PhaseID, Name: "merge", N: int64(n)})
+		o.Count("opt.merged_blocks", int64(n))
+	}
+	if ps.Sink {
+		n := SinkColdCode(fn)
+		o.Emit(obs.Event{Kind: obs.PassApplied, Phase: r.PhaseID, Name: "sink", N: int64(n)})
+		o.Count("opt.sunk_insts", int64(n))
+	}
+	if ps.Layout {
+		seed := make(map[*prog.Block]float64)
+		for _, c := range entries {
+			seed[c] = ps.EntrySeedWeight
+		}
+		if e := fn.Entry(); e != nil && len(seed) == 0 {
+			seed[e] = ps.EntrySeedWeight
+		}
+		w := WeightsFor(ps.Approx, fn, prob, seed)
+		Layout(fn, w, prob)
+		o.Emit(obs.Event{Kind: obs.PassApplied, Phase: r.PhaseID, Name: "layout", N: int64(len(fn.Blocks))})
+		o.Count("opt.laid_out_blocks", int64(len(fn.Blocks)))
+	}
+	if ps.Schedule {
+		Schedule(fn, ps.Sched)
+		o.Emit(obs.Event{Kind: obs.PassApplied, Phase: r.PhaseID, Name: "schedule", N: int64(len(fn.Blocks))})
+		o.Count("opt.scheduled_blocks", int64(len(fn.Blocks)))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/region"
 )
@@ -29,6 +30,13 @@ type pendingCall struct {
 // installation happens after every phase's packages exist so linking and
 // ordering can see the whole group.
 func BuildPhase(cfg Config, p *prog.Program, reg *region.Region) ([]*Package, error) {
+	return BuildPhaseObserved(cfg, p, reg, obs.Nop{})
+}
+
+// BuildPhaseObserved is BuildPhase reporting to an observer: each
+// constructed package emits a PackageBuilt event (Name = package function,
+// N = block count) and bumps the pack.* counters.
+func BuildPhaseObserved(cfg Config, p *prog.Program, reg *region.Region, o obs.Observer) ([]*Package, error) {
 	hot := reg.HotBlocks()
 	if len(hot) == 0 {
 		return nil, fmt.Errorf("pack: phase %d has no hot blocks", reg.PhaseID)
@@ -61,6 +69,12 @@ func BuildPhase(cfg Config, p *prog.Program, reg *region.Region) ([]*Package, er
 	}
 	if len(pkgs) == 0 {
 		return nil, fmt.Errorf("pack: phase %d produced no packages", reg.PhaseID)
+	}
+	for _, pk := range pkgs {
+		o.Emit(obs.Event{Kind: obs.PackageBuilt, Phase: pk.PhaseID, Name: pk.Fn.Name, N: int64(len(pk.Fn.Blocks))})
+		o.Count("pack.packages", 1)
+		o.Count("pack.package_blocks", int64(len(pk.Fn.Blocks)))
+		o.Count("pack.inlined_calls", int64(pk.InlinedCalls))
 	}
 	return pkgs, nil
 }

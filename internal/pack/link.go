@@ -3,6 +3,7 @@ package pack
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/prog"
 )
 
@@ -13,6 +14,16 @@ import (
 // every package from every phase; the program must already contain their
 // functions (BuildPhase appended them).
 func Install(cfg Config, p *prog.Program, pkgs []*Package) (*Result, error) {
+	return InstallObserved(cfg, p, pkgs, obs.Nop{})
+}
+
+// InstallObserved is Install reporting to an observer: the whole
+// installation runs inside a "link" span, every exit retarget emits a
+// PackageLinked event, and the pack.links / pack.launch_points /
+// pack.monitors counters are bumped.
+func InstallObserved(cfg Config, p *prog.Program, pkgs []*Package, o obs.Observer) (*Result, error) {
+	sp := o.StartSpan(obs.StageLink)
+	defer sp.End()
 	res := &Result{
 		Packages: pkgs,
 		Groups:   make(map[*prog.Func][]*Package),
@@ -65,6 +76,7 @@ func Install(cfg Config, p *prog.Program, pkgs []*Package) (*Result, error) {
 				lc.exit.Block.Next = lc.target
 				lc.exit.Linked = lc.pkg
 				res.Links++
+				o.Emit(obs.Event{Kind: obs.PackageLinked, Phase: lc.pkg.PhaseID, Name: lc.pkg.Fn.Name})
 			}
 		}
 		res.LaunchPoints += patchLaunchPoints(p, ordered)
@@ -73,6 +85,9 @@ func Install(cfg Config, p *prog.Program, pkgs []*Package) (*Result, error) {
 	if err := p.Verify(); err != nil {
 		return nil, fmt.Errorf("pack: install produced invalid program: %w", err)
 	}
+	o.Count("pack.links", int64(res.Links))
+	o.Count("pack.launch_points", int64(res.LaunchPoints))
+	o.Count("pack.monitors", int64(res.Monitors))
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
 )
@@ -164,6 +165,13 @@ func (r *Region) NumHot() int {
 // Identify runs hot-spot mapping, temperature inference and heuristic
 // growth for one phase against the original program image.
 func Identify(cfg Config, img *prog.Image, ph *phasedb.Phase) (*Region, error) {
+	return IdentifyObserved(cfg, img, ph, obs.Nop{})
+}
+
+// IdentifyObserved is Identify reporting to an observer: a successful
+// identification emits one RegionGrown event (N = heuristically grown
+// blocks) and bumps the region.* counters.
+func IdentifyObserved(cfg Config, img *prog.Image, ph *phasedb.Phase, o obs.Observer) (*Region, error) {
 	if cfg.HotArcFraction == 0 {
 		cfg.HotArcFraction = 0.25
 	}
@@ -211,6 +219,11 @@ func Identify(cfg Config, img *prog.Image, ph *phasedb.Phase) (*Region, error) {
 
 	r.infer(cfg)
 	r.grow(cfg)
+	o.Emit(obs.Event{Kind: obs.RegionGrown, Phase: ph.ID, N: int64(r.GrownBlocks)})
+	o.Count("region.profiled_branches", int64(r.ProfiledBranches))
+	o.Count("region.inferred_hot", int64(r.InferredHot))
+	o.Count("region.inferred_cold", int64(r.InferredCold))
+	o.Count("region.grown_blocks", int64(r.GrownBlocks))
 	return r, nil
 }
 

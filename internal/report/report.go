@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
 	"repro/internal/workload"
@@ -36,6 +37,12 @@ type Options struct {
 	// Lines are serialized through a single writer; under a parallel run
 	// their order follows completion, not paper order.
 	Progress io.Writer
+	// Observer, when non-nil and enabled, receives spans, events and
+	// metrics for the whole suite. Each work item records into its own
+	// private recorder; the per-item traces are merged into Observer in
+	// paper order after the pool drains, so the merged stream is identical
+	// at every Jobs setting (span wall times aside).
+	Observer obs.Observer
 }
 
 // VariantResult is one bar of Figures 8/10 for one input.
@@ -157,6 +164,23 @@ func RunSuite(opts Options) (*Suite, error) {
 		jobs = 1
 	}
 
+	var o obs.Observer = obs.Nop{}
+	if opts.Observer != nil {
+		o = opts.Observer
+	}
+	suiteSpan := o.StartSpan(obs.StageSuite)
+	defer suiteSpan.End()
+	// Per-item recorders keep the merged stream deterministic: workers
+	// never write the shared observer directly.
+	traces := make([]*obs.Trace, len(items))
+	itemObserver := func() (obs.Observer, *obs.Recorder) {
+		if !o.Enabled() {
+			return obs.Nop{}, nil
+		}
+		rec := obs.NewRecorder()
+		return rec, rec
+	}
+
 	start := time.Now()
 	results := make([]*InputResult, len(items))
 	errs := make([]error, len(items))
@@ -178,7 +202,11 @@ func RunSuite(opts Options) (*Suite, error) {
 
 	if jobs == 1 {
 		for idx, it := range items {
-			ir, err := runInput(opts, it.b, it.in, false)
+			io2, rec := itemObserver()
+			ir, err := runInput(opts, it.b, it.in, false, io2)
+			if rec != nil {
+				traces[idx] = rec.Export()
+			}
 			if err != nil {
 				errs[idx] = fmt.Errorf("report: %s/%s: %w", it.b.Name, it.in.Name, err)
 				continue
@@ -194,7 +222,11 @@ func RunSuite(opts Options) (*Suite, error) {
 				defer wg.Done()
 				for idx := range work {
 					it := items[idx]
-					ir, err := runInput(opts, it.b, it.in, true)
+					io2, rec := itemObserver()
+					ir, err := runInput(opts, it.b, it.in, true, io2)
+					if rec != nil {
+						traces[idx] = rec.Export()
+					}
 					if err != nil {
 						errs[idx] = fmt.Errorf("report: %s/%s: %w", it.b.Name, it.in.Name, err)
 						continue
@@ -208,6 +240,12 @@ func RunSuite(opts Options) (*Suite, error) {
 		}
 		close(work)
 		wg.Wait()
+	}
+
+	// Merge per-item traces in paper order while the suite span is still
+	// open, so item spans re-parent under it deterministically.
+	for _, t := range traces {
+		o.Absorb(t)
 	}
 
 	if err := errors.Join(errs...); err != nil {
@@ -224,8 +262,13 @@ func RunSuite(opts Options) (*Suite, error) {
 // concurrently when parallel is set. The profiled program, its image and
 // the phase database are shared read-only across variants; each variant
 // packages and times its own clone.
-func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel bool) (*InputResult, error) {
+func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel bool, o obs.Observer) (*InputResult, error) {
 	start := time.Now()
+	sp := obs.Span{}
+	if o.Enabled() {
+		sp = o.StartSpan("input:" + b.Name + "/" + in.Name)
+	}
+	defer sp.End()
 	p := b.Build(in)
 	img, err := p.Linearize()
 	if err != nil {
@@ -233,7 +276,7 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 	}
 	// One pass: HSD profile + baseline timing.
 	timing := cpu.NewTiming(opts.Machine, img)
-	db, st, err := core.Profile(opts.Core, img, timing.Observe)
+	db, st, err := core.ProfileObserved(opts.Core, img, timing.Observe, o)
 	if err != nil {
 		return nil, err
 	}
@@ -255,18 +298,33 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 	ir.Variants = make([]VariantResult, len(variants))
 	verrs := make([]error, len(variants))
 	if parallel {
+		// Concurrent variants record into private recorders, merged in
+		// variant order below — the same stream a sequential run emits.
+		vtraces := make([]*obs.Trace, len(variants))
 		var wg sync.WaitGroup
 		for i, v := range variants {
 			wg.Add(1)
 			go func(i int, v core.Variant) {
 				defer wg.Done()
-				ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v)
+				var vo obs.Observer = obs.Nop{}
+				var rec *obs.Recorder
+				if o.Enabled() {
+					rec = obs.NewRecorder()
+					vo = rec
+				}
+				ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v, vo)
+				if rec != nil {
+					vtraces[i] = rec.Export()
+				}
 			}(i, v)
 		}
 		wg.Wait()
+		for _, t := range vtraces {
+			o.Absorb(t)
+		}
 	} else {
 		for i, v := range variants {
-			ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v)
+			ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v, o)
 		}
 	}
 	if err := errors.Join(verrs...); err != nil {
@@ -279,7 +337,12 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 // runVariant packages a fresh clone of the profiled program under one
 // variant configuration and times it against the shared baseline. p, db
 // and st are read-only here.
-func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileStats, base cpu.TimingStats, v core.Variant) (VariantResult, error) {
+func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileStats, base cpu.TimingStats, v core.Variant, o obs.Observer) (VariantResult, error) {
+	sp := obs.Span{}
+	if o.Enabled() {
+		sp = o.StartSpan("variant:" + v.Name())
+	}
+	defer sp.End()
 	cfg := v.Apply(opts.Core)
 	clone := p.Clone()
 	// The clone linearizes identically to the profiled program (IDs
@@ -290,14 +353,16 @@ func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileSt
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
 	out := &core.Outcome{Original: p, Packed: clone, DB: db}
-	if err := core.Package(cfg, out, clone, cloneImg, db); err != nil {
+	if err := core.PackageObserved(cfg, out, clone, cloneImg, db, o); err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
 	packedImg, err := clone.Linearize()
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
+	esp := o.StartSpan(obs.StageEvaluate)
 	stats, m, err := cpu.RunTimed(opts.Machine, packedImg, 0)
+	esp.End()
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: timed run: %w", v.Name(), err)
 	}

@@ -1,11 +1,14 @@
 package report
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 )
 
 // runSmallSuite runs two benchmarks at scale 1 and caches the result across
@@ -185,5 +188,84 @@ func TestBar(t *testing.T) {
 	}
 	if bar(-1, 4) != "...." || bar(2, 4) != "####" {
 		t.Error("bar clamping wrong")
+	}
+}
+
+// observedSuiteTrace runs the small suite with a recorder at the given
+// worker count and returns the normalized exported trace.
+func observedSuiteTrace(t *testing.T, jobs int) *obs.Trace {
+	t.Helper()
+	rec := obs.NewRecorder()
+	_, err := RunSuite(Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		Benchmarks:    []string{"m88ksim", "perl"},
+		ScaleOverride: 1,
+		Jobs:          jobs,
+		Observer:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Export().Normalize()
+}
+
+// TestRunSuiteObserverDeterministic asserts the merged span/event/metric
+// stream is identical at -j 1 and -j 4: per-worker recorders must be
+// absorbed in paper order, never completion order.
+func TestRunSuiteObserverDeterministic(t *testing.T) {
+	seq := observedSuiteTrace(t, 1)
+	par := observedSuiteTrace(t, 4)
+
+	if len(seq.Events) == 0 {
+		t.Fatal("observed suite emitted no events")
+	}
+	if !reflect.DeepEqual(seq.Events, par.Events) {
+		t.Errorf("event streams differ between -j 1 (%d events) and -j 4 (%d events)",
+			len(seq.Events), len(par.Events))
+	}
+	if !reflect.DeepEqual(seq.Spans, par.Spans) {
+		t.Errorf("normalized span trees differ between -j 1 (%d spans) and -j 4 (%d spans)",
+			len(seq.Spans), len(par.Spans))
+	}
+	if !reflect.DeepEqual(seq.Metrics, par.Metrics) {
+		t.Errorf("metrics differ between -j 1 and -j 4:\n%+v\n%+v", seq.Metrics, par.Metrics)
+	}
+
+	// Every pipeline stage must appear as a span.
+	have := make(map[string]bool)
+	for _, s := range seq.Spans {
+		have[s.Name] = true
+	}
+	for _, stage := range obs.Stages() {
+		if stage == obs.StagePipeline {
+			continue // RunSuite drives stages itself; "pipeline" wraps core.RunObserved only
+		}
+		if !have[stage] {
+			t.Errorf("stage %q missing from suite trace", stage)
+		}
+	}
+}
+
+// TestRunSuiteSentinelErrors drives a detector that can never promote a
+// candidate branch (its threshold exceeds any reachable counter value), so
+// every input fails with ErrNoPhases — which must survive RunSuite's
+// wrapping and errors.Join aggregation.
+func TestRunSuiteSentinelErrors(t *testing.T) {
+	opts := Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		Benchmarks:    []string{"m88ksim"},
+		ScaleOverride: 1,
+		Jobs:          2,
+	}
+	opts.Core.Detector.CounterBits = 31
+	opts.Core.Detector.CandidateThreshold = 1 << 30
+	_, err := RunSuite(opts)
+	if err == nil {
+		t.Fatal("candidate-starved detector should fail the suite")
+	}
+	if !errors.Is(err, core.ErrNoPhases) {
+		t.Errorf("errors.Is(err, core.ErrNoPhases) = false for %v", err)
 	}
 }

@@ -4,6 +4,10 @@
 # The JSON file is a trajectory: `history` entries are curated by hand (one
 # per PR that moved a number) and preserved across refreshes; `latest` is
 # overwritten with this run's suite timing by vpbench -benchjson.
+#
+# The observability layer's overhead contract (disabled path free, enabled
+# path cheap) is measured every run and recorded in BENCH_obs_overhead.json
+# next to BENCH_pipeline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +17,12 @@ echo "== interpreter hot-loop microbenchmarks (internal/cpu) =="
 go test -run '^$' \
   -bench 'BenchmarkMachineStep|BenchmarkMachineRunTimed|BenchmarkMemory|BenchmarkCacheAccess|BenchmarkTimingObserve' \
   -benchtime "$BENCHTIME" ./internal/cpu/
+
+echo
+echo "== observer microbenchmarks (internal/obs) =="
+go test -run '^$' \
+  -bench 'BenchmarkNopObserver|BenchmarkRecorderObserver' \
+  -benchtime "$BENCHTIME" ./internal/obs/
 
 echo
 echo "== detector, timed-run and suite-parallelism benches (repo root) =="
@@ -25,3 +35,19 @@ echo "== full suite wall time (scale 1, default -j) =="
 go run ./cmd/vpbench -q -scale 1 -benchjson BENCH_pipeline.json >/dev/null
 echo "BENCH_pipeline.json refreshed:"
 grep -E '"wall_seconds"|"jobs"|"insts_per_second"' BENCH_pipeline.json | tail -3
+
+echo
+echo "== observer overhead (disabled vs enabled suite run) =="
+obs_tmp="$(mktemp)"
+trap 'rm -f "$obs_tmp"' EXIT
+go run ./cmd/vpbench -q -scale 1 -metrics -benchjson "$obs_tmp" >/dev/null
+# The trajectory file repeats "wall_seconds" in history entries; the last
+# occurrence is this run's `latest` block. The tmp file has only one.
+disabled=$(grep '"wall_seconds"' BENCH_pipeline.json | tail -1 | grep -o '[0-9.]*')
+enabled=$(grep '"wall_seconds"' "$obs_tmp" | tail -1 | grep -o '[0-9.]*')
+awk -v d="$disabled" -v e="$enabled" 'BEGIN {
+  delta = (d > 0) ? (e - d) / d : 0
+  printf "{\n  \"schema\": \"obs-overhead/v1\",\n  \"disabled_wall_seconds\": %.3f,\n  \"enabled_wall_seconds\": %.3f,\n  \"overhead_fraction\": %.4f\n}\n", d, e, delta
+}' > BENCH_obs_overhead.json
+echo "BENCH_obs_overhead.json refreshed:"
+cat BENCH_obs_overhead.json

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/hsd"
+	"repro/internal/obs"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
 	"repro/internal/trace"
@@ -82,8 +83,61 @@ func Variants() []Variant { return core.Variants() }
 // Run executes the full Vacuum Packing pipeline on p: profile under the
 // Hot Spot Detector, filter phases, identify regions, extract + link +
 // optimize packages. p is mutated into the packed program; the Outcome
-// carries a pristine clone for baselines.
+// carries a pristine clone for baselines. Run is a thin no-op-observer
+// wrapper around RunObserved.
 func Run(cfg Config, p *Program) (*Outcome, error) { return core.Run(cfg, p) }
+
+// Sentinel pipeline failures, re-exported from core. Both are always
+// wrapped with run detail, so match with errors.Is:
+//
+//	if errors.Is(err, vacuumpack.ErrNoPhases) { ... }
+var (
+	// ErrNoPhases: region identification left no usable phase (nothing
+	// detected, or every detected phase was skipped).
+	ErrNoPhases = core.ErrNoPhases
+	// ErrNoPackages: package construction failed for every region.
+	ErrNoPackages = core.ErrNoPackages
+)
+
+// Observability. The pipeline reports stage-scoped spans, a typed event
+// stream and counter/gauge metrics to an Observer; a Recorder collects
+// them and exports a JSON Trace. The disabled path (Run, or RunObserved
+// with NopObserver) costs nothing.
+type (
+	// Observer receives spans, events and metrics from a pipeline run.
+	Observer = obs.Observer
+	// Span is a handle to one open stage span.
+	Span = obs.Span
+	// Event is one typed pipeline occurrence (phase detected/filtered/
+	// skipped, region grown, package built/linked, pass applied).
+	Event = obs.Event
+	// EventKind types the event stream.
+	EventKind = obs.EventKind
+	// Metrics is the exported counter/gauge registry.
+	Metrics = obs.Metrics
+	// Recorder is the collecting Observer implementation.
+	Recorder = obs.Recorder
+	// Trace is a recorder's exported, JSON-serializable form. (The
+	// Dynamo-style trace-extraction baseline is TraceConfig/TraceResult.)
+	Trace = obs.Trace
+)
+
+// NewRecorder returns an empty collecting observer.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NopObserver returns the zero-cost disabled observer.
+func NopObserver() Observer { return obs.Nop{} }
+
+// RunObserved is Run reporting every stage's spans, events and metrics to
+// an observer:
+//
+//	rec := vacuumpack.NewRecorder()
+//	outcome, err := vacuumpack.RunObserved(cfg, program, rec)
+//	...
+//	rec.Export().WriteJSON(os.Stdout)
+func RunObserved(cfg Config, p *Program, o Observer) (*Outcome, error) {
+	return core.RunObserved(cfg, p, o)
+}
 
 // Machine model.
 type (

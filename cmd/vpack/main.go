@@ -8,12 +8,15 @@
 //	vpack -bench perl -input A [-scale N] [-noinfer] [-nolink] [-v]
 //	vpack -asm program.vpasm [-v]
 //	vpack -bench perl -trace out.json   # JSON span/event/metric trace
+//	vpack -bench perl -q                # only the coverage/speedup line
+//	vpack -log json                     # diagnostics as JSON slog records
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/asm"
@@ -22,8 +25,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// logger carries diagnostics (hints, trace-write failures); -log selects
+// its format and -q silences it. The packing report itself stays on
+// stdout.
+var logger = slog.New(slog.DiscardHandler)
 
 // tracing carries the optional -trace recorder; flush writes whatever has
 // been recorded so far, so even a failed run leaves a usable trace.
@@ -38,12 +47,12 @@ func flushTrace() {
 	}
 	f, err := os.Create(tracing.path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vpack: trace:", err)
+		logger.Error("trace write failed", "err", err)
 		return
 	}
 	defer f.Close()
 	if err := tracing.rec.Export().WriteJSON(f); err != nil {
-		fmt.Fprintln(os.Stderr, "vpack: trace:", err)
+		logger.Error("trace write failed", "err", err)
 	}
 }
 
@@ -59,6 +68,8 @@ func main() {
 		noOpt     = flag.Bool("noopt", false, "disable layout and rescheduling")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		verbose   = flag.Bool("v", false, "per-phase and per-package detail")
+		quiet     = flag.Bool("q", false, "print only the final coverage/speedup line (same as -log off for diagnostics)")
+		logMode   = flag.String("log", "text", "structured log mode for diagnostics: "+telemetry.LogModes)
 		tracePath = flag.String("trace", "", "write a JSON span/event/metric trace of the run to `file`")
 	)
 	flag.Parse()
@@ -69,6 +80,17 @@ func main() {
 		tracing.path = *tracePath
 		o = tracing.rec
 	}
+
+	mode := *logMode
+	if *quiet {
+		mode = "off"
+	}
+	lg, err := telemetry.NewLogger(mode, os.Stderr, tracing.rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpack:", err)
+		os.Exit(2)
+	}
+	logger = lg
 
 	if *list {
 		for _, b := range workload.Ordered() {
@@ -119,19 +141,23 @@ func main() {
 	cfg.EnableLayout = !*noOpt
 	cfg.EnableSchedule = !*noOpt
 
-	fmt.Printf("%s: %d funcs, %d blocks, %d static insts\n",
-		title, len(p.Funcs), p.NumBlocks(), p.NumInsts())
+	if !*quiet {
+		fmt.Printf("%s: %d funcs, %d blocks, %d static insts\n",
+			title, len(p.Funcs), p.NumBlocks(), p.NumInsts())
+	}
 
 	out, err := core.RunObserved(cfg, p, o)
 	if err != nil {
 		if errors.Is(err, core.ErrNoPhases) || errors.Is(err, core.ErrNoPackages) {
-			fmt.Fprintln(os.Stderr, "vpack: hint: the run may be too short for the detector; raise -scale")
+			logger.Warn("the run may be too short for the detector; raise -scale")
 		}
 		fatal(err)
 	}
-	fmt.Printf("profile: %d insts, %d cond branches, %d raw detections -> %d phases (%d redundant, %d skipped)\n",
-		out.ProfileInsts, out.ProfileBranches, out.Detections,
-		len(out.DB.Phases), out.DB.Redundant, out.SkippedPhases)
+	if !*quiet {
+		fmt.Printf("profile: %d insts, %d cond branches, %d raw detections -> %d phases (%d redundant, %d skipped)\n",
+			out.ProfileInsts, out.ProfileBranches, out.Detections,
+			len(out.DB.Phases), out.DB.Redundant, out.SkippedPhases)
+	}
 
 	if *verbose {
 		for _, ph := range out.DB.Phases {
@@ -155,11 +181,13 @@ func main() {
 		}
 	}
 
-	fmt.Printf("packages: %d in %d groups, %d links, %d monitors, %d launch points\n",
-		len(out.Pack.Packages), len(out.Pack.Groups), out.Pack.Links, out.Pack.Monitors, out.Pack.LaunchPoints)
-	fmt.Printf("static: orig %d insts, +%d added (%.1f%%), %d selected (%.1f%%), replication %.2f\n",
-		out.Pack.OrigInsts, out.Pack.AddedInsts, out.Pack.CodeGrowth()*100,
-		out.Pack.SelectedInsts, out.Pack.SelectedFraction()*100, out.Pack.Replication())
+	if !*quiet {
+		fmt.Printf("packages: %d in %d groups, %d links, %d monitors, %d launch points\n",
+			len(out.Pack.Packages), len(out.Pack.Groups), out.Pack.Links, out.Pack.Monitors, out.Pack.LaunchPoints)
+		fmt.Printf("static: orig %d insts, +%d added (%.1f%%), %d selected (%.1f%%), replication %.2f\n",
+			out.Pack.OrigInsts, out.Pack.AddedInsts, out.Pack.CodeGrowth()*100,
+			out.Pack.SelectedInsts, out.Pack.SelectedFraction()*100, out.Pack.Replication())
+	}
 
 	ev, err := out.EvaluateObserved(cpu.DefaultConfig(), 0, o)
 	if err != nil {
@@ -169,16 +197,20 @@ func main() {
 	if !ev.Equivalent {
 		eq = "DIVERGED (BUG)"
 	}
-	fmt.Printf("timed: base %d cycles (IPC %.2f) vs packed %d cycles (IPC %.2f)\n",
-		ev.Base.Cycles, ev.Base.IPC(), ev.Packed.Cycles, ev.Packed.IPC())
+	if !*quiet {
+		fmt.Printf("timed: base %d cycles (IPC %.2f) vs packed %d cycles (IPC %.2f)\n",
+			ev.Base.Cycles, ev.Base.IPC(), ev.Packed.Cycles, ev.Packed.IPC())
+	}
 	fmt.Printf("coverage %.1f%%  speedup %.3f  %s\n", ev.Coverage*100, ev.Speedup, eq)
 
-	cz := out.DB.Categorize()
-	fmt.Printf("branch categories (dynamic-weighted):")
-	for c := phasedb.Category(0); c < phasedb.NumCategories; c++ {
-		fmt.Printf(" %s=%.1f%%", c, cz.Fraction(c)*100)
+	if !*quiet {
+		cz := out.DB.Categorize()
+		fmt.Printf("branch categories (dynamic-weighted):")
+		for c := phasedb.Category(0); c < phasedb.NumCategories; c++ {
+			fmt.Printf(" %s=%.1f%%", c, cz.Fraction(c)*100)
+		}
+		fmt.Println()
 	}
-	fmt.Println()
 	flushTrace()
 }
 

@@ -11,8 +11,11 @@
 //	vpbench -j 4            # run 4 inputs concurrently (default GOMAXPROCS)
 //	vpbench -benchjson f    # write machine-readable timing JSON to f
 //	vpbench -cpuprofile f   # write a pprof CPU profile of the run to f
-//	vpbench -metrics        # per-stage wall-time and counter tables
+//	vpbench -metrics        # per-stage wall-time, counter and histogram tables
 //	vpbench -trace f        # write the suite's JSON span/event trace to f
+//	vpbench -serve :9090    # expose /metrics, /trace, /healthz, /readyz,
+//	                        # /debug/pprof while the suite runs
+//	vpbench -log json       # structured progress records (text|json|off)
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +35,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // benchJSON is the machine-readable trajectory record -benchjson emits so
@@ -64,11 +69,13 @@ func main() {
 		benches    = flag.String("bench", "", "comma-separated benchmark subset")
 		scale      = flag.Int64("scale", 0, "override every input's iteration scale")
 		jobs       = flag.Int("j", 0, "concurrent benchmark inputs (0 = GOMAXPROCS, 1 = sequential)")
-		quiet      = flag.Bool("q", false, "suppress per-input progress lines")
+		quiet      = flag.Bool("q", false, "suppress progress records (same as -log off)")
+		logMode    = flag.String("log", "text", "structured log mode: "+telemetry.LogModes)
+		serve      = flag.String("serve", "", "serve /metrics, /trace, /healthz, /readyz and /debug/pprof on `addr` during the run")
 		benchjson  = flag.String("benchjson", "", "write machine-readable suite timing JSON to `file`")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
-		metrics    = flag.Bool("metrics", false, "print per-stage wall-time and counter tables after the suite")
+		metrics    = flag.Bool("metrics", false, "print per-stage wall-time, counter, gauge and histogram tables after the suite")
 		tracePath  = flag.String("trace", "", "write the suite's JSON span/event/metric trace to `file`")
 	)
 	flag.Parse()
@@ -98,16 +105,36 @@ func main() {
 		ScaleOverride: *scale,
 		Jobs:          *jobs,
 	}
-	if !*quiet {
-		opts.Progress = os.Stderr
-	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
 	var rec *obs.Recorder
-	if *metrics || *tracePath != "" {
+	if *metrics || *tracePath != "" || *serve != "" {
 		rec = obs.NewRecorder()
 		opts.Observer = rec
+	}
+
+	mode := *logMode
+	if *quiet {
+		mode = "off"
+	}
+	logger, err := telemetry.NewLogger(mode, os.Stderr, rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpbench:", err)
+		os.Exit(2)
+	}
+	opts.Logger = logger
+
+	if *serve != "" {
+		srv := telemetry.NewServer(rec)
+		addr, err := srv.Listen(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: serve:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		srv.SetReady(true)
+		logger.Info("telemetry serving", "addr", addr)
 	}
 
 	suite, err := report.RunSuite(opts)
@@ -235,6 +262,44 @@ func printMetrics(t *obs.Trace) {
 			fmt.Printf("%-34s %10.3f\n", name, t.Metrics.Gauges[name])
 		}
 	}
+	if len(t.Metrics.Histograms) > 0 {
+		fmt.Println("\nhistogram                               count         mean       ~p50       ~p99")
+		names := make([]string, 0, len(t.Metrics.Histograms))
+		for name := range t.Metrics.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := t.Metrics.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-34s %10d %12.1f %10v %10v\n", name, h.Count,
+				h.Sum/float64(h.Count), histQuantile(h, 0.50), histQuantile(h, 0.99))
+		}
+	}
+}
+
+// histQuantile returns the upper bound of the bucket holding the q-th
+// observation — an order-of-magnitude quantile, which is all the
+// power-of-two layout resolves.
+func histQuantile(h obs.HistogramRecord, q float64) string {
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	bounds := obs.HistogramBounds()
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			if i < len(bounds) {
+				return strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			}
+			break
+		}
+	}
+	return ">" + strconv.FormatFloat(bounds[len(bounds)-1], 'g', -1, 64)
 }
 
 // trajectory is the on-disk shape of the BENCH_*.json files: a curated

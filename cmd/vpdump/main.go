@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -24,33 +25,38 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/region"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
-// printProfileStats reports the profiling run on stderr (stdout carries
-// the DOT graph).
-func printProfileStats(st core.ProfileStats, phases int) {
-	fmt.Fprintf(os.Stderr, "profile: %d insts, %d cond branches, %d raw detections -> %d phases\n",
-		st.Insts, st.Branches, st.Detections, phases)
+// logger carries the profiling/stage diagnostics on stderr (stdout
+// carries the DOT graph); -log selects its format, -q silences it.
+var logger = slog.New(slog.DiscardHandler)
+
+// logProfileStats reports the profiling run.
+func logProfileStats(st core.ProfileStats, phases int) {
+	logger.Info("profile",
+		"insts", st.Insts, "branches", st.Branches,
+		"detections", st.Detections, "phases", phases)
 }
 
-// printStageStats reports per-stage wall times and per-phase skip reasons
-// gathered during an observed pipeline run on stderr.
-func printStageStats(t *obs.Trace) {
+// logStageStats reports per-stage wall times and per-phase skip reasons
+// gathered during an observed pipeline run.
+func logStageStats(t *obs.Trace) {
 	byName := make(map[string]time.Duration)
 	for _, st := range t.SpanTotals() {
 		byName[st.Name] = st.Total
 	}
-	fmt.Fprintf(os.Stderr, "stages:")
+	attrs := make([]any, 0, 2*len(byName))
 	for _, name := range obs.Stages() {
 		if d, ok := byName[name]; ok && name != obs.StageSuite && name != obs.StagePipeline {
-			fmt.Fprintf(os.Stderr, " %s=%v", name, d.Round(time.Microsecond))
+			attrs = append(attrs, name, d.Round(time.Microsecond))
 		}
 	}
-	fmt.Fprintln(os.Stderr)
+	logger.Info("stages", attrs...)
 	for _, e := range t.Events {
 		if e.Kind == obs.PhaseSkipped.String() {
-			fmt.Fprintf(os.Stderr, "phase %d skipped: %s\n", e.Phase, e.Name)
+			logger.Warn("phase skipped", "phase", e.Phase, "reason", e.Name)
 		}
 	}
 }
@@ -63,8 +69,21 @@ func main() {
 		fnName  = flag.String("fn", "", "function to dump (default: hottest region function)")
 		phase   = flag.Int("phase", -1, "overlay this phase's region temperatures")
 		pkgIdx  = flag.Int("pkg", -1, "dump the Nth extracted package instead")
+		quiet   = flag.Bool("q", false, "suppress profiling/stage diagnostics (same as -log off)")
+		logMode = flag.String("log", "text", "structured log mode for diagnostics: "+telemetry.LogModes)
 	)
 	flag.Parse()
+
+	mode := *logMode
+	if *quiet {
+		mode = "off"
+	}
+	lg, err := telemetry.NewLogger(mode, os.Stderr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpdump:", err)
+		os.Exit(2)
+	}
+	logger = lg
 
 	var p *prog.Program
 	if *asmPath != "" {
@@ -93,12 +112,12 @@ func main() {
 		rec := obs.NewRecorder()
 		out, err := core.RunObserved(cfg, p, rec)
 		if out != nil {
-			printProfileStats(core.ProfileStats{
+			logProfileStats(core.ProfileStats{
 				Insts: out.ProfileInsts, Branches: out.ProfileBranches, Detections: out.Detections,
 			}, len(out.DB.Phases))
-			printStageStats(rec.Export())
+			logStageStats(rec.Export())
 			if out.SkippedPhases > 0 {
-				fmt.Fprintf(os.Stderr, "%d phases skipped in total\n", out.SkippedPhases)
+				logger.Warn("phases skipped", "count", out.SkippedPhases)
 			}
 		}
 		if err != nil {
@@ -120,7 +139,7 @@ func main() {
 		}
 		db, st, err := core.Profile(cfg, img, nil)
 		if db != nil {
-			printProfileStats(st, len(db.Phases))
+			logProfileStats(st, len(db.Phases))
 		}
 		if err != nil {
 			fatal(err)

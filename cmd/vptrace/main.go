@@ -1,0 +1,162 @@
+// Command vptrace analyzes vptrace/v1 JSON trace files written by
+// vpack -trace and vpbench -trace (or scraped from /trace on a
+// vpbench -serve process).
+//
+// Usage:
+//
+//	vptrace top [-n 15] trace.json           # hottest spans by total wall time
+//	vptrace diff [-threshold 0.1] [-min-wall 1ms] old.json new.json
+//	vptrace flame trace.json > folded.txt    # folded stacks for flamegraph.pl
+//
+// diff compares per-stage wall-time totals and counters and exits 1 when
+// anything regresses past the threshold — scripts/verify.sh runs it
+// between a fresh trace and testdata/trace_golden.json as the CI
+// trace-regression gate. Against a Normalize()d golden the wall-time
+// columns are zero, so the gate bites on the deterministic counters
+// (simulated cycles, phase/package/link counts); between two live traces
+// it bites on wall time too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "top":
+		cmdTop(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "flame":
+		cmdFlame(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vptrace top [-n 15] trace.json
+  vptrace diff [-threshold 0.1] [-min-wall 1ms] old.json new.json
+  vptrace flame trace.json`)
+	os.Exit(2)
+}
+
+func readTrace(path string) *obs.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := obs.ReadTrace(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return t
+}
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	n := fs.Int("n", 15, "show the N hottest span names")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	t := readTrace(fs.Arg(0))
+
+	totals := t.SpanTotals()
+	// Hottest first; SpanTotals order (first appearance) breaks ties so
+	// the listing is deterministic.
+	for i := 1; i < len(totals); i++ {
+		for j := i; j > 0 && totals[j].Total > totals[j-1].Total; j-- {
+			totals[j], totals[j-1] = totals[j-1], totals[j]
+		}
+	}
+	if len(totals) > *n {
+		totals = totals[:*n]
+	}
+	fmt.Printf("%-32s %6s %14s %14s\n", "span", "count", "total", "avg")
+	for _, st := range totals {
+		avg := time.Duration(0)
+		if st.Count > 0 {
+			avg = st.Total / time.Duration(st.Count)
+		}
+		fmt.Printf("%-32s %6d %14v %14v\n", st.Name, st.Count,
+			st.Total.Round(time.Microsecond), avg.Round(time.Microsecond))
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10, "fractional growth tolerated before a row regresses")
+	minWall := fs.Duration("min-wall", time.Millisecond, "noise floor: stages faster than this in both traces never regress")
+	all := fs.Bool("all", false, "print unchanged counters too")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	oldT, newT := readTrace(fs.Arg(0)), readTrace(fs.Arg(1))
+
+	d := obs.DiffTraces(oldT, newT, obs.DiffOptions{Threshold: *threshold, MinWall: *minWall})
+
+	fmt.Printf("stage wall-time (threshold +%.1f%%, noise floor %v):\n", *threshold*100, *minWall)
+	fmt.Printf("  %-32s %12s %12s %9s\n", "span", "old", "new", "delta")
+	for _, sd := range d.Stages {
+		mark := ""
+		if sd.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Printf("  %-32s %12v %12v %+8.1f%%%s\n", sd.Name,
+			time.Duration(sd.OldUS)*time.Microsecond,
+			time.Duration(sd.NewUS)*time.Microsecond,
+			sd.Frac*100, mark)
+	}
+
+	fmt.Println("counters:")
+	changed := 0
+	for _, cd := range d.Counters {
+		if cd.Old == cd.New && !*all {
+			continue
+		}
+		changed++
+		mark := ""
+		if cd.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Printf("  %-32s %12d %12d %+8.1f%%%s\n", cd.Name, cd.Old, cd.New, cd.Frac*100, mark)
+	}
+	if changed == 0 {
+		fmt.Println("  (all counters identical)")
+	}
+
+	if d.Regressions > 0 {
+		fmt.Printf("%d regression(s) past threshold\n", d.Regressions)
+		os.Exit(1)
+	}
+	fmt.Println("no regressions")
+}
+
+func cmdFlame(args []string) {
+	fs := flag.NewFlagSet("flame", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	t := readTrace(fs.Arg(0))
+	for _, fl := range t.Folded() {
+		fmt.Printf("%s %d\n", fl.Stack, fl.SelfUS)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vptrace:", err)
+	os.Exit(1)
+}

@@ -424,5 +424,6 @@ func (o *Outcome) EvaluateObserved(mc cpu.Config, limit uint64, ob obs.Observer)
 	ob.Count("eval.packed_cycles", int64(packedStats.Cycles))
 	ob.Gauge("eval.speedup", ev.Speedup)
 	ob.Gauge("eval.coverage", ev.Coverage)
+	ob.Observe("eval.cycles", float64(packedStats.Cycles))
 	return ev, nil
 }

@@ -1,0 +1,195 @@
+// Trace analysis: the comparison and flame-graph folds behind the
+// vptrace CLI. Everything here works on exported Traces, so two runs can
+// be compared offline — in particular a fresh trace against a committed
+// golden, which is how scripts/verify.sh gates stage wall-time and
+// counter regressions in CI.
+
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// DiffOptions parameterizes DiffTraces.
+type DiffOptions struct {
+	// Threshold is the fractional growth tolerated before a stage
+	// wall-time or counter increase counts as a regression (0.10 = +10%).
+	// Zero means the default 0.10.
+	Threshold float64
+	// MinWall is the noise floor for wall-time comparisons: a stage whose
+	// totals are below it in both traces never regresses. Zero means the
+	// default 1ms.
+	MinWall time.Duration
+}
+
+func (o DiffOptions) threshold() float64 {
+	if o.Threshold == 0 {
+		return 0.10
+	}
+	return o.Threshold
+}
+
+func (o DiffOptions) minWall() time.Duration {
+	if o.MinWall == 0 {
+		return time.Millisecond
+	}
+	return o.MinWall
+}
+
+// StageDelta compares one span name's aggregate wall time across two
+// traces. Frac is (new-old)/old, or 0 when old is 0 (a new stage is
+// reported but never flagged: the schema grew, nothing got slower).
+type StageDelta struct {
+	Name         string
+	OldUS, NewUS int64
+	OldN, NewN   int
+	Frac         float64
+	Regressed    bool
+}
+
+// CounterDelta compares one counter across two traces.
+type CounterDelta struct {
+	Name      string
+	Old, New  int64
+	Frac      float64
+	Regressed bool
+}
+
+// Diff is the result of comparing two traces.
+type Diff struct {
+	Stages      []StageDelta
+	Counters    []CounterDelta
+	Regressions int
+}
+
+// DiffTraces compares per-span-name wall-time totals and counters of two
+// traces. Stage rows come first in canonical pipeline order, then the
+// remaining span names sorted; counters are sorted by name. A row
+// regresses when the new value exceeds the old by more than the threshold
+// fraction (wall times additionally require either total to clear the
+// MinWall noise floor; comparisons against a Normalize()d trace therefore
+// exercise only the counters, which are deterministic).
+func DiffTraces(oldT, newT *Trace, opts DiffOptions) *Diff {
+	d := &Diff{}
+	thr := opts.threshold()
+	minUS := opts.minWall().Microseconds()
+
+	totals := func(t *Trace) map[string]spanTot {
+		m := make(map[string]spanTot)
+		for _, st := range t.SpanTotals() {
+			m[st.Name] = spanTot{us: st.Total.Microseconds(), n: st.Count}
+		}
+		return m
+	}
+	ot, nt := totals(oldT), totals(newT)
+	for _, name := range spanNameOrder(ot, nt) {
+		o, n := ot[name], nt[name]
+		sd := StageDelta{Name: name, OldUS: o.us, NewUS: n.us, OldN: o.n, NewN: n.n}
+		if o.us > 0 {
+			sd.Frac = float64(n.us-o.us) / float64(o.us)
+			sd.Regressed = sd.Frac > thr && (o.us >= minUS || n.us >= minUS)
+		}
+		if sd.Regressed {
+			d.Regressions++
+		}
+		d.Stages = append(d.Stages, sd)
+	}
+
+	names := make(map[string]bool)
+	for k := range oldT.Metrics.Counters {
+		names[k] = true
+	}
+	for k := range newT.Metrics.Counters {
+		names[k] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		o, n := oldT.Metrics.Counters[name], newT.Metrics.Counters[name]
+		cd := CounterDelta{Name: name, Old: o, New: n}
+		if o > 0 {
+			cd.Frac = float64(n-o) / float64(o)
+			cd.Regressed = cd.Frac > thr
+		}
+		if cd.Regressed {
+			d.Regressions++
+		}
+		d.Counters = append(d.Counters, cd)
+	}
+	return d
+}
+
+type spanTot struct {
+	us int64
+	n  int
+}
+
+// spanNameOrder returns the union of span names: canonical stages first
+// in pipeline order, then the rest sorted.
+func spanNameOrder(maps ...map[string]spanTot) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range maps {
+		for k := range m {
+			seen[k] = true
+		}
+	}
+	for _, s := range Stages() {
+		if seen[s] {
+			out = append(out, s)
+			delete(seen, s)
+		}
+	}
+	rest := make([]string, 0, len(seen))
+	for k := range seen {
+		rest = append(rest, k)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// FoldedLine is one stack of flame-graph folded output: semicolon-joined
+// span path and the self time in microseconds.
+type FoldedLine struct {
+	Stack  string
+	SelfUS int64
+}
+
+// Folded renders the span tree as folded stacks (the format flamegraph.pl
+// and speedscope consume): one line per unique root-to-span path, valued
+// by self time — the span's duration minus its children's. Paths appear
+// in first-appearance (span) order; same-path spans aggregate.
+func (t *Trace) Folded() []FoldedLine {
+	child := make([]int64, len(t.Spans)) // summed child duration per span
+	for _, s := range t.Spans {
+		if s.Parent >= 0 && int(s.Parent) < len(t.Spans) {
+			child[s.Parent] += s.DurUS
+		}
+	}
+	paths := make([]string, len(t.Spans))
+	idx := make(map[string]int)
+	var out []FoldedLine
+	for i, s := range t.Spans {
+		p := s.Name
+		if s.Parent >= 0 && int(s.Parent) < i {
+			p = paths[s.Parent] + ";" + s.Name
+		}
+		paths[i] = p
+		self := s.DurUS - child[i]
+		if self < 0 {
+			self = 0
+		}
+		j, ok := idx[p]
+		if !ok {
+			j = len(out)
+			idx[p] = j
+			out = append(out, FoldedLine{Stack: p})
+		}
+		out[j].SelfUS += self
+	}
+	return out
+}

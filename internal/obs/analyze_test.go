@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceWith builds a minimal trace with one span per (name, durUS) pair
+// and the given counters.
+func traceWith(spans map[string]int64, counters map[string]int64) *Trace {
+	t := &Trace{Schema: TraceSchema}
+	id := int32(0)
+	for _, name := range spanNameOrderFromMap(spans) {
+		t.Spans = append(t.Spans, SpanRecord{ID: id, Parent: -1, Name: name, DurUS: spans[name]})
+		id++
+	}
+	t.Metrics.Counters = counters
+	return t
+}
+
+func spanNameOrderFromMap(m map[string]int64) []string {
+	seen := make(map[string]spanTot, len(m))
+	for k := range m {
+		seen[k] = spanTot{}
+	}
+	return spanNameOrder(seen)
+}
+
+func TestDiffTracesFlagsWallTimeRegression(t *testing.T) {
+	oldT := traceWith(map[string]int64{"profile": 100_000, "evaluate": 50_000}, nil)
+	newT := traceWith(map[string]int64{"profile": 130_000, "evaluate": 51_000}, nil)
+	d := DiffTraces(oldT, newT, DiffOptions{Threshold: 0.10})
+	if d.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (profile +30%%)", d.Regressions)
+	}
+	for _, sd := range d.Stages {
+		if sd.Name == "profile" && !sd.Regressed {
+			t.Error("profile +30% not flagged")
+		}
+		if sd.Name == "evaluate" && sd.Regressed {
+			t.Error("evaluate +2% wrongly flagged")
+		}
+	}
+}
+
+func TestDiffTracesNoiseFloor(t *testing.T) {
+	oldT := traceWith(map[string]int64{"filter": 10}, nil)
+	newT := traceWith(map[string]int64{"filter": 20}, nil) // +100% of nothing
+	d := DiffTraces(oldT, newT, DiffOptions{Threshold: 0.10, MinWall: time.Millisecond})
+	if d.Regressions != 0 {
+		t.Fatalf("sub-noise-floor span flagged: %+v", d.Stages)
+	}
+}
+
+func TestDiffTracesCountersAgainstNormalizedGolden(t *testing.T) {
+	// A Normalize()d golden has zero wall times everywhere: the gate must
+	// not fire on new>0 there, but must fire on a counter regression.
+	golden := traceWith(map[string]int64{"profile": 0},
+		map[string]int64{"eval.packed_cycles": 1000, "profile.phases": 4})
+	fresh := traceWith(map[string]int64{"profile": 80_000},
+		map[string]int64{"eval.packed_cycles": 1200, "profile.phases": 4})
+	d := DiffTraces(golden, fresh, DiffOptions{Threshold: 0.10})
+	if d.Regressions != 1 {
+		t.Fatalf("regressions = %d, want exactly the cycle counter: %+v", d.Regressions, d.Counters)
+	}
+	for _, cd := range d.Counters {
+		if cd.Name == "eval.packed_cycles" && !cd.Regressed {
+			t.Error("packed_cycles +20% not flagged")
+		}
+	}
+}
+
+func TestDiffStageOrderCanonicalFirst(t *testing.T) {
+	oldT := traceWith(map[string]int64{"zz": 1, "profile": 1, "suite": 1}, nil)
+	d := DiffTraces(oldT, oldT, DiffOptions{})
+	if len(d.Stages) != 3 || d.Stages[0].Name != "suite" || d.Stages[1].Name != "profile" || d.Stages[2].Name != "zz" {
+		t.Errorf("stage order = %+v", d.Stages)
+	}
+}
+
+func TestFoldedSelfTimes(t *testing.T) {
+	tr := &Trace{Schema: TraceSchema}
+	tr.Spans = []SpanRecord{
+		{ID: 0, Parent: -1, Name: "pipeline", DurUS: 100},
+		{ID: 1, Parent: 0, Name: "profile", DurUS: 60},
+		{ID: 2, Parent: 0, Name: "evaluate", DurUS: 30},
+		{ID: 3, Parent: 0, Name: "profile", DurUS: 5}, // same path aggregates
+	}
+	lines := tr.Folded()
+	want := map[string]int64{
+		"pipeline":          100 - 60 - 30 - 5,
+		"pipeline;profile":  65,
+		"pipeline;evaluate": 30,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %+v", lines)
+	}
+	for _, fl := range lines {
+		if want[fl.Stack] != fl.SelfUS {
+			t.Errorf("%s = %d, want %d", fl.Stack, fl.SelfUS, want[fl.Stack])
+		}
+	}
+}
+
+func TestReadTraceValidatesSchema(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("bad schema accepted")
+	}
+	tr, err := ReadTrace(strings.NewReader(`{"schema":"vptrace/v1","epoch_us":0}`))
+	if err != nil || tr.Schema != TraceSchema {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram bucket scheme. Every histogram shares one fixed, log-spaced
+// bucket layout: bucket i counts observations v <= 2^i for i in
+// [0, NumHistogramBounds), and one final overflow bucket catches the rest.
+// A fixed shared layout is what makes Absorb's histogram merge a plain
+// per-bucket addition — deterministic regardless of merge order — and
+// keeps the Prometheus exposition's `le` labels identical across
+// processes and runs.
+//
+// Values are unit-free: instrumented sites record wall times in
+// microseconds (histogram names carry the `span_us.` prefix or `_us`
+// suffix by convention; Normalize relies on it), block/link counts as
+// counts, and simulated cycles as cycles. 2^39 (~5.5e11) comfortably
+// covers all of them.
+const NumHistogramBounds = 40
+
+// HistogramBounds returns the shared upper bounds (exclusive of the
+// overflow bucket), i.e. 1, 2, 4, …, 2^39.
+func HistogramBounds() []float64 {
+	b := make([]float64, NumHistogramBounds)
+	for i := range b {
+		b[i] = float64(uint64(1) << uint(i))
+	}
+	return b
+}
+
+// bucketIndex maps an observation to its bucket: the smallest i with
+// v <= 2^i, or the overflow slot. Non-positive values land in bucket 0.
+func bucketIndex(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	u := uint64(math.Ceil(v))
+	idx := bits.Len64(u - 1)
+	if idx >= NumHistogramBounds {
+		return NumHistogramBounds
+	}
+	return idx
+}
+
+// hist is the in-recorder histogram state: per-bucket counts (last slot
+// is overflow), the running sum and observation count.
+type hist struct {
+	counts [NumHistogramBounds + 1]uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *hist) observe(v float64) {
+	h.counts[bucketIndex(v)]++
+	h.sum += v
+	h.n++
+}
+
+// record exports the histogram with trailing zero buckets trimmed (the
+// JSON stays compact; merge re-pads as needed).
+func (h *hist) record() HistogramRecord {
+	last := -1
+	for i, c := range h.counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	r := HistogramRecord{Count: h.n, Sum: h.sum}
+	if last >= 0 {
+		r.Buckets = append([]uint64(nil), h.counts[:last+1]...)
+	}
+	return r
+}
+
+// merge adds an exported record back into the histogram.
+func (h *hist) merge(r HistogramRecord) {
+	for i, c := range r.Buckets {
+		if i > NumHistogramBounds {
+			break
+		}
+		h.counts[i] += c
+	}
+	h.sum += r.Sum
+	h.n += r.Count
+}

@@ -100,10 +100,13 @@ type Observer interface {
 	Count(name string, delta int64)
 	// Gauge sets the named gauge to v (last write wins).
 	Gauge(name string, v float64)
+	// Observe adds one sample to the named histogram (fixed log-spaced
+	// buckets shared by every histogram; see HistogramBounds).
+	Observe(name string, v float64)
 	// Absorb merges a finished trace (typically from a per-worker
 	// recorder) into this observer: its root spans are re-parented under
-	// the currently open span, events append in order, counters add and
-	// gauges overwrite.
+	// the currently open span, events append in order, counters and
+	// histogram buckets add and gauges overwrite.
 	Absorb(t *Trace)
 }
 
@@ -111,12 +114,13 @@ type Observer interface {
 // instrumentation path allocates nothing (asserted by TestNopZeroAlloc).
 type Nop struct{}
 
-func (Nop) Enabled() bool         { return false }
-func (Nop) StartSpan(string) Span { return Span{} }
-func (Nop) Emit(Event)            {}
-func (Nop) Count(string, int64)   {}
-func (Nop) Gauge(string, float64) {}
-func (Nop) Absorb(*Trace)         {}
+func (Nop) Enabled() bool           { return false }
+func (Nop) StartSpan(string) Span   { return Span{} }
+func (Nop) Emit(Event)              {}
+func (Nop) Count(string, int64)     {}
+func (Nop) Gauge(string, float64)   {}
+func (Nop) Observe(string, float64) {}
+func (Nop) Absorb(*Trace)           {}
 
 // Span is a handle to one open span. The zero Span (from Nop or an
 // already-ended recorder) is valid and inert.
@@ -142,6 +146,17 @@ func (s Span) Child(name string) Span {
 	return s.rec.startSpan(name, s.id)
 }
 
+// Default span/event caps. A long-lived -serve process records every
+// span and event of every suite iteration; the caps bound its memory.
+// They are generous — a full suite run at default scale stays well under
+// 1% of either — and overflow is observable: drops are counted and
+// surfaced as the obs.dropped_spans / obs.dropped_events counters in the
+// trace and on /metrics.
+const (
+	DefaultMaxSpans  = 1 << 18
+	DefaultMaxEvents = 1 << 19
+)
+
 // Recorder is the collecting Observer. All methods are safe for
 // concurrent use; under heavy parallelism prefer one Recorder per worker
 // merged with Absorb so event order stays deterministic.
@@ -153,6 +168,13 @@ type Recorder struct {
 	events   []Event
 	counters map[string]int64
 	gauges   map[string]float64
+	hists    map[string]*hist
+
+	// Caps: 0 means the package default, negative means unlimited.
+	maxSpans      int
+	maxEvents     int
+	droppedSpans  int64
+	droppedEvents int64
 }
 
 type spanRec struct {
@@ -171,6 +193,43 @@ func NewRecorder() *Recorder {
 // Enabled always reports true for a Recorder.
 func (r *Recorder) Enabled() bool { return true }
 
+// SetCaps bounds how many spans and events the recorder retains. Zero
+// selects the package defaults (DefaultMaxSpans / DefaultMaxEvents),
+// negative means unlimited. Records past a cap are dropped and counted;
+// Export surfaces the counts as obs.dropped_spans / obs.dropped_events.
+func (r *Recorder) SetCaps(maxSpans, maxEvents int) {
+	r.mu.Lock()
+	r.maxSpans = maxSpans
+	r.maxEvents = maxEvents
+	r.mu.Unlock()
+}
+
+// Dropped reports how many spans and events the caps have discarded.
+func (r *Recorder) Dropped() (spans, events int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedSpans, r.droppedEvents
+}
+
+func capOrDefault(set, def int) int {
+	if set == 0 {
+		return def
+	}
+	return set
+}
+
+// spanCapReached reports whether one more span would exceed the cap.
+// Caller holds mu.
+func (r *Recorder) spanCapReached() bool {
+	max := capOrDefault(r.maxSpans, DefaultMaxSpans)
+	return max > 0 && len(r.spans) >= max
+}
+
+func (r *Recorder) eventCapReached() bool {
+	max := capOrDefault(r.maxEvents, DefaultMaxEvents)
+	return max > 0 && len(r.events) >= max
+}
+
 // StartSpan opens a span under the innermost open span.
 func (r *Recorder) StartSpan(name string) Span {
 	return r.startSpan(name, -2)
@@ -180,6 +239,10 @@ func (r *Recorder) StartSpan(name string) Span {
 func (r *Recorder) startSpan(name string, parent int32) Span {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.spanCapReached() {
+		r.droppedSpans++
+		return Span{} // inert: End is harmless, children re-parent upward
+	}
 	if parent == -2 {
 		parent = -1
 		if n := len(r.stack); n > 0 {
@@ -212,12 +275,51 @@ func (r *Recorder) endSpan(id int32) {
 			break
 		}
 	}
+	// Every finished span feeds the per-name wall-time distribution; the
+	// span_us. prefix marks these as time-valued for Normalize.
+	r.observeLocked("span_us."+s.name, float64(s.dur.Microseconds()))
 }
+
+// ActiveSpan returns the innermost open span's name.
+func (r *Recorder) ActiveSpan() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.stack); n > 0 {
+		return r.spans[r.stack[n-1]].name, true
+	}
+	return "", false
+}
+
+// ActiveStage returns the innermost open span whose name is one of the
+// canonical stage names — the value the obs slog handler stamps records
+// with.
+func (r *Recorder) ActiveStage() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		if name := r.spans[r.stack[i]].name; stageSet[name] {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+var stageSet = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, s := range Stages() {
+		m[s] = true
+	}
+	return m
+}()
 
 // Emit appends one event.
 func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
-	r.events = append(r.events, e)
+	if r.eventCapReached() {
+		r.droppedEvents++
+	} else {
+		r.events = append(r.events, e)
+	}
 	r.mu.Unlock()
 }
 
@@ -241,10 +343,32 @@ func (r *Recorder) Gauge(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// Observe adds one sample to the named histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	r.mu.Lock()
+	r.observeLocked(name, v)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) observeLocked(name string, v float64) {
+	h := r.hists[name]
+	if h == nil {
+		if r.hists == nil {
+			r.hists = make(map[string]*hist)
+		}
+		h = &hist{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+}
+
 // Absorb merges a finished trace into the recorder: spans keep their
 // relative order and timing (re-anchored to this recorder's epoch via the
 // trace's own epoch), root spans re-parent under the innermost open span,
-// events append in order, counters add, gauges overwrite.
+// events append in order, counters and histogram buckets add, gauges
+// overwrite. The recorder's caps apply to absorbed spans and events too;
+// the trace's own obs.dropped_* counters (if any) merge like any counter,
+// so drop totals survive the per-worker merge.
 func (r *Recorder) Absorb(t *Trace) {
 	if t == nil {
 		return
@@ -257,9 +381,14 @@ func (r *Recorder) Absorb(t *Trace) {
 		top = r.stack[n-1]
 	}
 	offset := time.Duration(t.EpochUS)*time.Microsecond - time.Duration(r.epoch.UnixMicro())*time.Microsecond
+	absorbed := int32(0)
 	for _, sr := range t.Spans {
+		if r.spanCapReached() {
+			r.droppedSpans++
+			continue
+		}
 		parent := top
-		if sr.Parent >= 0 {
+		if sr.Parent >= 0 && sr.Parent < absorbed {
 			parent = sr.Parent + base
 		}
 		r.spans = append(r.spans, spanRec{
@@ -268,8 +397,13 @@ func (r *Recorder) Absorb(t *Trace) {
 			start:  time.Duration(sr.StartUS)*time.Microsecond + offset,
 			dur:    time.Duration(sr.DurUS) * time.Microsecond,
 		})
+		absorbed++
 	}
 	for _, er := range t.Events {
+		if r.eventCapReached() {
+			r.droppedEvents++
+			continue
+		}
 		r.events = append(r.events, Event{Kind: er.eventKind(), Phase: er.Phase, Name: er.Name, N: er.N})
 	}
 	if len(t.Metrics.Counters) > 0 && r.counters == nil {
@@ -283,5 +417,16 @@ func (r *Recorder) Absorb(t *Trace) {
 	}
 	for k, v := range t.Metrics.Gauges {
 		r.gauges[k] = v
+	}
+	for k, hr := range t.Metrics.Histograms {
+		h := r.hists[k]
+		if h == nil {
+			if r.hists == nil {
+				r.hists = make(map[string]*hist)
+			}
+			h = &hist{}
+			r.hists[k] = h
+		}
+		h.merge(hr)
 	}
 }

@@ -19,6 +19,7 @@ func instrument(o Observer) {
 	rs := o.StartSpan(StageRegion)
 	o.Emit(Event{Kind: RegionGrown, Phase: 0, N: 2})
 	o.Gauge("eval.speedup", 1.05)
+	o.Observe("region.hot_blocks", 7)
 	rs.End()
 	sp.End()
 }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// SlogHandler is a log/slog handler middleware that stamps every record
+// with the recorder's currently active span: a "stage" attribute carrying
+// the innermost open canonical stage span, and a "span" attribute with
+// the innermost open span of any name (input:…, variant:…). Records
+// logged outside any span pass through unstamped. With a nil recorder the
+// handler is a transparent pass-through, so CLIs can wire it
+// unconditionally.
+//
+// Under a parallel suite run the shared recorder only has the suite span
+// open (workers record into private recorders), so stamped stages are
+// coarse there; single-pipeline runs (vpack) stamp the exact stage.
+type SlogHandler struct {
+	inner slog.Handler
+	rec   *Recorder
+}
+
+// NewSlogHandler wraps inner, stamping records from rec's open spans.
+func NewSlogHandler(inner slog.Handler, rec *Recorder) *SlogHandler {
+	return &SlogHandler{inner: inner, rec: rec}
+}
+
+func (h *SlogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *SlogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if h.rec != nil {
+		if span, ok := h.rec.ActiveSpan(); ok {
+			r.AddAttrs(slog.String("span", span))
+		}
+		if stage, ok := h.rec.ActiveStage(); ok {
+			r.AddAttrs(slog.String("stage", stage))
+		}
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *SlogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &SlogHandler{inner: h.inner.WithAttrs(attrs), rec: h.rec}
+}
+
+func (h *SlogHandler) WithGroup(name string) slog.Handler {
+	return &SlogHandler{inner: h.inner.WithGroup(name), rec: h.rec}
+}

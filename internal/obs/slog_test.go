@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestSlogHandlerStampsActiveSpanAndStage(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder()
+	logger := slog.New(NewSlogHandler(slog.NewTextHandler(&buf, nil), rec))
+
+	logger.Info("outside")
+	if out := buf.String(); strings.Contains(out, "stage=") || strings.Contains(out, "span=") {
+		t.Errorf("record outside any span was stamped: %q", out)
+	}
+	buf.Reset()
+
+	sp := rec.StartSpan(StageProfile)
+	inner := rec.StartSpan("input:gzip/A") // non-canonical innermost span
+	logger.Info("inside")
+	inner.End()
+	sp.End()
+
+	out := buf.String()
+	if !strings.Contains(out, "span=input:gzip/A") {
+		t.Errorf("missing span attribute: %q", out)
+	}
+	if !strings.Contains(out, "stage="+StageProfile) {
+		t.Errorf("missing stage attribute (innermost canonical): %q", out)
+	}
+}
+
+func TestSlogHandlerNilRecorderPassesThrough(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewSlogHandler(slog.NewTextHandler(&buf, nil), nil))
+	logger.With("k", "v").WithGroup("g").Info("msg", "a", 1)
+	if out := buf.String(); !strings.Contains(out, "msg") || !strings.Contains(out, "k=v") {
+		t.Errorf("pass-through lost the record: %q", out)
+	}
+}

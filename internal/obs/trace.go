@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -39,10 +41,29 @@ type EventRecord struct {
 	N     int64  `json:"n,omitempty"`
 }
 
-// Metrics is the exported counter/gauge registry.
+// Metrics is the exported counter/gauge/histogram registry.
 type Metrics struct {
-	Counters map[string]int64   `json:"counters,omitempty"`
-	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	Counters   map[string]int64           `json:"counters,omitempty"`
+	Gauges     map[string]float64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramRecord `json:"histograms,omitempty"`
+}
+
+// HistogramRecord is one exported histogram: observation count, value
+// sum, and per-bucket counts over the shared log-spaced layout (bucket i
+// counts v <= 2^i; a trailing overflow slot catches the rest). Buckets is
+// trimmed at its last non-zero slot.
+type HistogramRecord struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// timeValuedMetric reports whether a histogram holds wall-clock values
+// (microseconds) by naming convention: the automatic per-span histograms
+// carry the span_us. prefix, and any explicitly recorded time histogram
+// must use the _us suffix. Normalize zeroes exactly these.
+func timeValuedMetric(name string) bool {
+	return strings.HasPrefix(name, "span_us.") || strings.HasSuffix(name, "_us")
 }
 
 func kindFromString(s string) EventKind {
@@ -93,7 +114,45 @@ func (r *Recorder) Export() *Trace {
 			t.Metrics.Gauges[k] = v
 		}
 	}
+	if len(r.hists) > 0 {
+		t.Metrics.Histograms = make(map[string]HistogramRecord, len(r.hists))
+		for k, h := range r.hists {
+			t.Metrics.Histograms[k] = h.record()
+		}
+	}
+	// Drops are surfaced as counters only when they happened, so traces
+	// from an uncapped run keep their golden-stable shape.
+	if r.droppedSpans > 0 || r.droppedEvents > 0 {
+		if t.Metrics.Counters == nil {
+			t.Metrics.Counters = make(map[string]int64, 2)
+		}
+		if r.droppedSpans > 0 {
+			t.Metrics.Counters[DroppedSpansCounter] += r.droppedSpans
+		}
+		if r.droppedEvents > 0 {
+			t.Metrics.Counters[DroppedEventsCounter] += r.droppedEvents
+		}
+	}
 	return t
+}
+
+// Counter names under which Export surfaces records discarded by the
+// recorder's span/event caps.
+const (
+	DroppedSpansCounter  = "obs.dropped_spans"
+	DroppedEventsCounter = "obs.dropped_events"
+)
+
+// ReadTrace decodes one JSON trace and validates its schema marker.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("obs: decode trace: %w", err)
+	}
+	if t.Schema != TraceSchema {
+		return nil, fmt.Errorf("obs: trace schema %q, want %q", t.Schema, TraceSchema)
+	}
+	return &t, nil
 }
 
 // WriteJSON writes the trace as indented JSON.
@@ -108,13 +167,21 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 }
 
 // Normalize zeroes every wall-clock field (epoch, span starts and
-// durations) in place and returns t, making two traces of the same run
-// byte-comparable; the golden-file schema test relies on it.
+// durations, and the contents of time-valued histograms — span_us.* and
+// *_us names) in place and returns t, making two traces of the same run
+// byte-comparable; the golden-file schema test relies on it. Count-valued
+// histograms (region sizes, link counts, simulated cycles) are
+// deterministic and stay intact.
 func (t *Trace) Normalize() *Trace {
 	t.EpochUS = 0
 	for i := range t.Spans {
 		t.Spans[i].StartUS = 0
 		t.Spans[i].DurUS = 0
+	}
+	for name := range t.Metrics.Histograms {
+		if timeValuedMetric(name) {
+			t.Metrics.Histograms[name] = HistogramRecord{}
+		}
 	}
 	return t
 }

@@ -88,6 +88,17 @@ func InstallObserved(cfg Config, p *prog.Program, pkgs []*Package, o obs.Observe
 	o.Count("pack.links", int64(res.Links))
 	o.Count("pack.launch_points", int64(res.LaunchPoints))
 	o.Count("pack.monitors", int64(res.Monitors))
+	if o.Enabled() {
+		for _, pk := range pkgs {
+			linked := 0
+			for _, e := range pk.Exits {
+				if e.Linked != nil {
+					linked++
+				}
+			}
+			o.Observe("pack.links_per_package", float64(linked))
+		}
+	}
 	return res, nil
 }
 

@@ -224,6 +224,7 @@ func IdentifyObserved(cfg Config, img *prog.Image, ph *phasedb.Phase, o obs.Obse
 	o.Count("region.inferred_hot", int64(r.InferredHot))
 	o.Count("region.inferred_cold", int64(r.InferredCold))
 	o.Count("region.grown_blocks", int64(r.GrownBlocks))
+	o.Observe("region.hot_blocks", float64(r.NumHot()))
 	return r, nil
 }
 

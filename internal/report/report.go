@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -33,9 +34,15 @@ type Options struct {
 	// (variants included). Results are assembled in paper order and are
 	// identical at every setting.
 	Jobs int
-	// Progress, when non-nil, receives one line per input as it finishes.
-	// Lines are serialized through a single writer; under a parallel run
-	// their order follows completion, not paper order.
+	// Logger, when non-nil, receives one structured record per input as
+	// it finishes (bench, input, insts, phases, coverage, speedup) plus
+	// suite start/end records. slog handlers serialize their own writes,
+	// so records never interleave; under a parallel run their order
+	// follows completion, not paper order. It supersedes Progress.
+	Logger *slog.Logger
+	// Progress, when non-nil and Logger is nil, receives one plain text
+	// line per input as it finishes (the pre-slog format, kept for
+	// callers that scrape it).
 	Progress io.Writer
 	// Observer, when non-nil and enabled, receives spans, events and
 	// metrics for the whole suite. Each work item records into its own
@@ -185,15 +192,32 @@ func RunSuite(opts Options) (*Suite, error) {
 	results := make([]*InputResult, len(items))
 	errs := make([]error, len(items))
 
-	// Progress lines from concurrent workers funnel through one writer
-	// guarded by a mutex so lines never interleave mid-row.
+	if opts.Logger != nil {
+		opts.Logger.Info("suite start", "items", len(items), "jobs", jobs)
+	}
+	// Progress from concurrent workers: slog handlers serialize their own
+	// writes; the legacy plain-text path funnels through one mutex so
+	// lines never interleave mid-row.
 	var progressMu sync.Mutex
 	report := func(idx int, ir *InputResult) {
 		results[idx] = ir
+		// Observed directly (not via the per-item recorders) so a live
+		// /metrics scrape sees progress mid-suite; histogram merge is
+		// commutative and the _us name is time-valued, so completion order
+		// never leaks into a Normalize()d trace.
+		o.Observe("suite.input_elapsed_us", float64(ir.Elapsed.Microseconds()))
+		full := ir.Full()
+		if opts.Logger != nil {
+			opts.Logger.Info("input complete",
+				"bench", ir.Bench, "input", ir.Input,
+				"insts", ir.DynInsts, "phases", ir.Phases,
+				"coverage", full.Coverage, "speedup", full.Speedup,
+				"elapsed", ir.Elapsed)
+			return
+		}
 		if opts.Progress == nil {
 			return
 		}
-		full := ir.Full()
 		progressMu.Lock()
 		fmt.Fprintf(opts.Progress, "%-9s %s  %8d insts  %2d phases  cov %5.1f%%  speedup %.3f\n",
 			ir.Bench, ir.Input, ir.DynInsts, ir.Phases, full.Coverage*100, full.Speedup)
@@ -249,11 +273,18 @@ func RunSuite(opts Options) (*Suite, error) {
 	}
 
 	if err := errors.Join(errs...); err != nil {
+		if opts.Logger != nil {
+			opts.Logger.Error("suite failed", "err", err)
+		}
 		return nil, err
 	}
 	suite := &Suite{Machine: opts.Machine, Jobs: jobs, Elapsed: time.Since(start)}
 	for _, ir := range results {
 		suite.Results = append(suite.Results, *ir)
+	}
+	if opts.Logger != nil {
+		opts.Logger.Info("suite complete", "items", len(items), "jobs", jobs,
+			"elapsed", suite.Elapsed, "insts", suite.TotalInsts())
 	}
 	return suite, nil
 }
@@ -366,6 +397,7 @@ func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileSt
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: timed run: %w", v.Name(), err)
 	}
+	o.Observe("eval.cycles", float64(stats.Cycles))
 	h, n := m.DataHash()
 	vr := VariantResult{
 		Variant:    v,

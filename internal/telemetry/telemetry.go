@@ -1,0 +1,205 @@
+// Package telemetry is the serving tier over internal/obs: a stdlib-only
+// HTTP server that exposes a live Recorder as Prometheus text-format
+// /metrics (counters, gauges, histogram buckets), a /trace JSON snapshot,
+// /healthz and /readyz probes and the /debug/pprof handlers, plus the
+// structured-logging setup (slog text/json/off) shared by the CLIs.
+//
+// The server holds no state of its own beyond readiness: every endpoint
+// renders a fresh snapshot of the Source at request time, so scraping a
+// long vpbench -serve run observes the suite as it progresses.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Source supplies trace snapshots; *obs.Recorder satisfies it.
+type Source interface {
+	Export() *obs.Trace
+}
+
+// Server serves a Source over HTTP.
+type Server struct {
+	src   Source
+	ready atomic.Bool
+	mux   *http.ServeMux
+	http  *http.Server
+}
+
+// NewServer builds a server over src. It starts not-ready; call SetReady
+// once the instrumented work is actually running.
+func NewServer(src Source) *Server {
+	s := &Server{src: src, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the server's route table, for mounting under httptest
+// or an existing mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetReady flips the /readyz state.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Listen binds addr (":0" picks a free port) and starts serving in a new
+// goroutine, returning the bound address. Use Close to stop.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go s.http.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close immediately stops a Listen-ed server.
+func (s *Server) Close() error { return s.http.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.src.Export())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.src.Export().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// MetricName sanitizes a flat obs metric name (dots, colons, slashes)
+// into a legal Prometheus metric name with the vp_ namespace prefix.
+func MetricName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("vp_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteMetrics renders a trace snapshot in Prometheus text exposition
+// format (version 0.0.4): counters, gauges, and histograms with
+// cumulative le-labeled buckets over the shared log-spaced layout. Output
+// is sorted by metric name, so identical traces render identical bytes —
+// which is what makes /metrics diffable and, after Normalize, goldenable.
+func WriteMetrics(w io.Writer, t *obs.Trace) {
+	fmtFloat := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	counters := make(map[string]int64, len(t.Metrics.Counters)+2)
+	for k, v := range t.Metrics.Counters {
+		counters[k] = v
+	}
+	// The drop counters are part of the serving contract: always exposed,
+	// zero when nothing was dropped, so alerts can rate() them.
+	for _, k := range []string{obs.DroppedSpansCounter, obs.DroppedEventsCounter} {
+		if _, ok := counters[k]; !ok {
+			counters[k] = 0
+		}
+	}
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		m := MetricName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[k])
+	}
+
+	names = names[:0]
+	for k := range t.Metrics.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		m := MetricName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, fmtFloat(t.Metrics.Gauges[k]))
+	}
+
+	bounds := obs.HistogramBounds()
+	names = names[:0]
+	for k := range t.Metrics.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := t.Metrics.Histograms[k]
+		m := MetricName(k)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+		var cum uint64
+		for i, b := range bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m, fmtFloat(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", m, fmtFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+	}
+}
+
+// LogModes documents the shared -log flag values.
+const LogModes = "text|json|off"
+
+// NewLogger builds the CLI logger for one of the LogModes, writing to w.
+// With a non-nil recorder the handler is wrapped in obs.NewSlogHandler,
+// so records logged while a span is open carry span/stage attributes.
+func NewLogger(mode string, w io.Writer, rec *obs.Recorder) (*slog.Logger, error) {
+	var h slog.Handler
+	switch mode {
+	case "off":
+		return slog.New(slog.DiscardHandler), nil
+	case "text", "":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log mode %q (want %s)", mode, LogModes)
+	}
+	if rec != nil {
+		h = obs.NewSlogHandler(h, rec)
+	}
+	return slog.New(h), nil
+}

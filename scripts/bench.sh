@@ -6,8 +6,9 @@
 # overwritten with this run's suite timing by vpbench -benchjson.
 #
 # The observability layer's overhead contract (disabled path free, enabled
-# path cheap) is measured every run and recorded in BENCH_obs_overhead.json
-# next to BENCH_pipeline.json.
+# path — spans, events, counters, gauges and the histogram buckets behind
+# /metrics — cheap) is measured every run and recorded in
+# BENCH_obs_overhead.json next to BENCH_pipeline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,14 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, vet, full test suite, and race-detector
-# passes over the parallel evaluation engine's worker pool and the
-# observability layer it reports through.
+# Tier-1 verification: build, vet, full test suite, race-detector passes
+# over the parallel evaluation engine's worker pool and the observability
+# + telemetry-serving layers it reports through, and the trace regression
+# gate (a fresh pipeline trace diffed against the committed golden).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
 go vet ./internal/obs/...
+go vet ./internal/telemetry/...
 go test ./...
 go test -race ./internal/report/...
 go test -race ./internal/obs/...
+go test -race ./internal/telemetry/...
+
+# Trace regression gate: the golden is Normalize()d (wall times zeroed),
+# so this diff bites exactly on the deterministic pipeline counters —
+# phases detected, regions grown, packages built/linked, simulated
+# cycles. A counter regressing >10% fails verification.
+trace_tmp="$(mktemp)"
+trap 'rm -f "$trace_tmp"' EXIT
+go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -trace "$trace_tmp" >/dev/null
+go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
+
 echo "tier-1 verify: OK"

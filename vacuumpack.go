@@ -120,6 +120,14 @@ type (
 	// Trace is a recorder's exported, JSON-serializable form. (The
 	// Dynamo-style trace-extraction baseline is TraceConfig/TraceResult.)
 	Trace = obs.Trace
+	// HistogramRecord is one exported histogram (log-spaced buckets
+	// shared by every histogram; see obs.HistogramBounds).
+	HistogramRecord = obs.HistogramRecord
+	// TraceDiff compares two traces' stage wall times and counters
+	// (vptrace diff's engine); build one with DiffTraces.
+	TraceDiff = obs.Diff
+	// TraceDiffOptions parameterizes DiffTraces.
+	TraceDiffOptions = obs.DiffOptions
 )
 
 // NewRecorder returns an empty collecting observer.
@@ -127,6 +135,12 @@ func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // NopObserver returns the zero-cost disabled observer.
 func NopObserver() Observer { return obs.Nop{} }
+
+// DiffTraces compares two traces' per-stage wall-time totals and
+// counters, flagging rows that regress past the threshold.
+func DiffTraces(oldT, newT *Trace, opts TraceDiffOptions) *TraceDiff {
+	return obs.DiffTraces(oldT, newT, opts)
+}
 
 // RunObserved is Run reporting every stage's spans, events and metrics to
 // an observer:

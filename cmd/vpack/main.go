@@ -71,8 +71,19 @@ func main() {
 		quiet     = flag.Bool("q", false, "print only the final coverage/speedup line (same as -log off for diagnostics)")
 		logMode   = flag.String("log", "text", "structured log mode for diagnostics: "+telemetry.LogModes)
 		tracePath = flag.String("trace", "", "write a JSON span/event/metric trace of the run to `file`")
+		blockc    = flag.String("blockcache", "on", "basic-block simulation cache for timed runs: on|off")
 	)
 	flag.Parse()
+
+	mc := cpu.DefaultConfig()
+	switch *blockc {
+	case "on":
+	case "off":
+		mc.DisableBlockCache = true
+	default:
+		fmt.Fprintln(os.Stderr, "vpack: -blockcache must be on or off")
+		os.Exit(2)
+	}
 
 	var o obs.Observer = obs.Nop{}
 	if *tracePath != "" {
@@ -189,7 +200,7 @@ func main() {
 			out.Pack.SelectedInsts, out.Pack.SelectedFraction()*100, out.Pack.Replication())
 	}
 
-	ev, err := out.EvaluateObserved(cpu.DefaultConfig(), 0, o)
+	ev, err := out.EvaluateObserved(mc, 0, o)
 	if err != nil {
 		fatal(err)
 	}

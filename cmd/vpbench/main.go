@@ -9,6 +9,8 @@
 //	vpbench -bench perl     # restrict the suite
 //	vpbench -scale 1        # force a smaller iteration scale
 //	vpbench -j 4            # run 4 inputs concurrently (default GOMAXPROCS)
+//	vpbench -reps 3         # run the suite 3 times, report the best rep
+//	vpbench -blockcache off # legacy instruction-at-a-time timed simulation
 //	vpbench -benchjson f    # write machine-readable timing JSON to f
 //	vpbench -cpuprofile f   # write a pprof CPU profile of the run to f
 //	vpbench -metrics        # per-stage wall-time, counter and histogram tables
@@ -52,6 +54,12 @@ type benchJSON struct {
 	TotalInsts     uint64  `json:"total_insts"`
 	InstsPerSecond float64 `json:"insts_per_second"`
 
+	// Reps is the -reps best-of count; WallSeconds is the best rep.
+	Reps int `json:"reps,omitempty"`
+	// BlockCacheHitRate aggregates the timed runs' basic-block cache
+	// traffic across all variants (absent when -blockcache=off).
+	BlockCacheHitRate float64 `json:"blockcache_hit_rate,omitempty"`
+
 	Inputs []benchInput `json:"inputs"`
 }
 
@@ -69,6 +77,8 @@ func main() {
 		benches    = flag.String("bench", "", "comma-separated benchmark subset")
 		scale      = flag.Int64("scale", 0, "override every input's iteration scale")
 		jobs       = flag.Int("j", 0, "concurrent benchmark inputs (0 = GOMAXPROCS, 1 = sequential)")
+		reps       = flag.Int("reps", 1, "run the suite N times and report the best (fastest) rep")
+		blockcache = flag.String("blockcache", "on", "basic-block simulation cache for timed runs: on|off")
 		quiet      = flag.Bool("q", false, "suppress progress records (same as -log off)")
 		logMode    = flag.String("log", "text", "structured log mode: "+telemetry.LogModes)
 		serve      = flag.String("serve", "", "serve /metrics, /trace, /healthz, /readyz and /debug/pprof on `addr` during the run")
@@ -105,6 +115,14 @@ func main() {
 		ScaleOverride: *scale,
 		Jobs:          *jobs,
 	}
+	switch *blockcache {
+	case "on":
+	case "off":
+		opts.Machine.DisableBlockCache = true
+	default:
+		fmt.Fprintln(os.Stderr, "vpbench: -blockcache must be on or off")
+		os.Exit(2)
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -137,22 +155,56 @@ func main() {
 		logger.Info("telemetry serving", "addr", addr)
 	}
 
-	suite, err := report.RunSuite(opts)
+	// Best-of-N reps: each rep runs the full suite; tables, metrics,
+	// traces and -benchjson all come from the fastest rep. The telemetry
+	// server streams one live run, so -serve pins reps to 1.
+	nreps := *reps
+	if nreps < 1 {
+		nreps = 1
+	}
+	if *serve != "" && nreps > 1 {
+		logger.Warn("-serve streams a single live run; forcing -reps 1")
+		nreps = 1
+	}
+	var suite *report.Suite
+	for r := 1; r <= nreps; r++ {
+		runOpts := opts
+		runRec := rec
+		if r > 1 && rec != nil {
+			// Later reps record into fresh recorders so the reported
+			// metrics describe exactly one suite run, not an accumulation.
+			runRec = obs.NewRecorder()
+			runOpts.Observer = runRec
+		}
+		s, err := report.RunSuite(runOpts)
+		if err != nil {
+			if runRec != nil && *tracePath != "" {
+				if werr := writeTrace(*tracePath, runRec); werr != nil {
+					fmt.Fprintln(os.Stderr, "vpbench: trace:", werr)
+				}
+			}
+			if errors.Is(err, core.ErrNoPhases) || errors.Is(err, core.ErrNoPackages) {
+				fmt.Fprintln(os.Stderr, "vpbench: hint: some inputs were too short for the detector; raise -scale")
+			}
+			fmt.Fprintln(os.Stderr, "vpbench:", err)
+			os.Exit(1)
+		}
+		if nreps > 1 {
+			logger.Info("rep complete", "rep", r, "of", nreps, "wall", s.Elapsed)
+		}
+		if suite == nil || s.Elapsed < suite.Elapsed {
+			suite = s
+			rec = runRec
+		}
+	}
 	if rec != nil && *tracePath != "" {
 		if werr := writeTrace(*tracePath, rec); werr != nil {
 			fmt.Fprintln(os.Stderr, "vpbench: trace:", werr)
 		}
 	}
-	if err != nil {
-		if errors.Is(err, core.ErrNoPhases) || errors.Is(err, core.ErrNoPackages) {
-			fmt.Fprintln(os.Stderr, "vpbench: hint: some inputs were too short for the detector; raise -scale")
-		}
-		fmt.Fprintln(os.Stderr, "vpbench:", err)
-		os.Exit(1)
-	}
 
 	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, suite, *scale); err != nil {
+		if err := writeBenchJSON(*benchjson, suite, *scale, nreps); err != nil {
 			fmt.Fprintln(os.Stderr, "vpbench:", err)
 			os.Exit(1)
 		}
@@ -311,7 +363,7 @@ type trajectory struct {
 	Latest  benchJSON         `json:"latest"`
 }
 
-func writeBenchJSON(path string, suite *report.Suite, scale int64) error {
+func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int) error {
 	wall := suite.Elapsed.Seconds()
 	rec := benchJSON{
 		Schema:      "vpbench-suite/v1",
@@ -323,9 +375,13 @@ func writeBenchJSON(path string, suite *report.Suite, scale int64) error {
 		WallSeconds: wall,
 		TotalInsts:  suite.TotalInsts(),
 	}
+	if reps > 1 {
+		rec.Reps = reps
+	}
 	if wall > 0 {
 		rec.InstsPerSecond = float64(rec.TotalInsts) / wall
 	}
+	var bcHits, bcMisses uint64
 	for i := range suite.Results {
 		r := &suite.Results[i]
 		rec.Inputs = append(rec.Inputs, benchInput{
@@ -334,6 +390,13 @@ func writeBenchJSON(path string, suite *report.Suite, scale int64) error {
 			Insts:   r.DynInsts,
 			Seconds: r.Elapsed.Seconds(),
 		})
+		for j := range r.Variants {
+			bcHits += r.Variants[j].BlockCacheHits
+			bcMisses += r.Variants[j].BlockCacheMisses
+		}
+	}
+	if bcHits+bcMisses > 0 {
+		rec.BlockCacheHitRate = float64(bcHits) / float64(bcHits+bcMisses)
 	}
 	traj := trajectory{Schema: "bench-trajectory/v1", Latest: rec}
 	if old, err := os.ReadFile(path); err == nil {

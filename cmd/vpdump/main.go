@@ -47,10 +47,23 @@ func logStageStats(t *obs.Trace) {
 	for _, st := range t.SpanTotals() {
 		byName[st.Name] = st.Total
 	}
+	// Shares are of the summed stage wall time (the suite/pipeline wrapper
+	// spans are excluded as they would double-count their children), so the
+	// profile-vs-evaluate balance reads directly off the log line.
+	var total time.Duration
+	for _, name := range obs.Stages() {
+		if d, ok := byName[name]; ok && name != obs.StageSuite && name != obs.StagePipeline {
+			total += d
+		}
+	}
 	attrs := make([]any, 0, 2*len(byName))
 	for _, name := range obs.Stages() {
 		if d, ok := byName[name]; ok && name != obs.StageSuite && name != obs.StagePipeline {
-			attrs = append(attrs, name, d.Round(time.Microsecond))
+			v := d.Round(time.Microsecond).String()
+			if total > 0 {
+				v = fmt.Sprintf("%v (%.1f%%)", d.Round(time.Microsecond), 100*float64(d)/float64(total))
+			}
+			attrs = append(attrs, name, v)
 		}
 	}
 	logger.Info("stages", attrs...)

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"repro/internal/cpu"
@@ -89,6 +90,27 @@ func DefaultConfig() Config {
 		EnableMerge:     true,
 		EntrySeedWeight: 1000,
 	}
+}
+
+// ProfileKey returns a canonical hash of the profiling-relevant
+// sub-configuration: the Hot Spot Detector, the software filter, the
+// hardware history filter and the profiling instruction limit. Two
+// configs with equal keys produce identical profiling runs (phase
+// database, profile stats, baseline timing) on the same image, so the
+// result can be shared read-only across them — the paper's four
+// evaluation variants only differ in Region/Pack knobs and therefore all
+// map to one key. Packaging, optimization and evaluation knobs
+// deliberately do not participate.
+func (cfg Config) ProfileKey() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", struct {
+		Detector          hsd.Config
+		Filter            phasedb.Config
+		HistoryDepth      int
+		HistorySimilarity float64
+		ProfileLimit      uint64
+	}{cfg.Detector, cfg.Filter, cfg.HistoryDepth, cfg.HistorySimilarity, cfg.ProfileLimit})
+	return h.Sum64()
 }
 
 // ScaledConfig returns DefaultConfig with the workload-scaled Hot Spot

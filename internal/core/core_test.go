@@ -268,3 +268,43 @@ func TestPackingImprovesICacheLocality(t *testing.T) {
 			baseRate, packedRate)
 	}
 }
+
+// TestProfileKey pins the memo-key contract: the four evaluation variants
+// share one key (their differences are packaging-only), profiling knobs
+// change it, and packaging/optimization knobs do not.
+func TestProfileKey(t *testing.T) {
+	base := ScaledConfig()
+	key := base.ProfileKey()
+	if key != base.ProfileKey() {
+		t.Fatal("ProfileKey is not deterministic")
+	}
+	for _, v := range Variants() {
+		if got := v.Apply(base).ProfileKey(); got != key {
+			t.Errorf("variant %q changed the profile key", v.Name())
+		}
+	}
+
+	same := base
+	same.EnableLayout = !same.EnableLayout
+	same.EnableSchedule = !same.EnableSchedule
+	same.MaxPhases = 3
+	same.Region.EnableInference = !same.Region.EnableInference
+	same.Pack.EnableLinking = !same.Pack.EnableLinking
+	if same.ProfileKey() != key {
+		t.Error("packaging/optimization knobs must not change the profile key")
+	}
+
+	for name, mutate := range map[string]func(*Config){
+		"detector":     func(c *Config) { c.Detector.CandidateThreshold++ },
+		"filter":       func(c *Config) { c.Filter.DifferenceThreshold += 0.01 },
+		"history":      func(c *Config) { c.HistoryDepth++ },
+		"similarity":   func(c *Config) { c.HistorySimilarity += 0.1 },
+		"profilelimit": func(c *Config) { c.ProfileLimit = 12345 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if cfg.ProfileKey() == key {
+			t.Errorf("%s change did not alter the profile key", name)
+		}
+	}
+}

@@ -58,6 +58,45 @@ func BenchmarkMachineRunTimed(b *testing.B) {
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// BenchmarkTimedBlock measures the block-structured timed path with a
+// shared block cache — the steady state of repeated suite evaluations:
+// every dispatch after the first run is a hit or a chained transition.
+func BenchmarkTimedBlock(b *testing.B) {
+	img := benchImage(b)
+	bc := NewBlockCache(img)
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		stats, _, err := RunTimedCached(DefaultConfig(), img, 0, bc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += stats.Insts
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/s")
+	b.ReportMetric(bc.Stats.HitRate(), "hit-rate")
+}
+
+// BenchmarkTimedNoCache measures the legacy instruction-at-a-time loop
+// (cache disabled) — the baseline the block path is gated against.
+func BenchmarkTimedNoCache(b *testing.B) {
+	img := benchImage(b)
+	cfg := DefaultConfig()
+	cfg.DisableBlockCache = true
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		stats, _, err := RunTimed(cfg, img, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += stats.Insts
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/s")
+}
+
 // BenchmarkMemoryDense exercises the dense data-segment fast path with a
 // strided read-modify-write sweep.
 func BenchmarkMemoryDense(b *testing.B) {

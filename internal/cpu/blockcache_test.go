@@ -1,0 +1,222 @@
+package cpu
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+func timedPair(t *testing.T, img *prog.Image) (on, off TimingStats, bc *BlockCache) {
+	t.Helper()
+	offCfg := DefaultConfig()
+	offCfg.DisableBlockCache = true
+	sOff, mOff, err := RunTimed(offCfg, img, 0)
+	if err != nil {
+		t.Fatalf("legacy RunTimed: %v", err)
+	}
+	bc = NewBlockCache(img)
+	sOn, mOn, err := RunTimedCached(DefaultConfig(), img, 0, bc)
+	if err != nil {
+		t.Fatalf("cached RunTimed: %v", err)
+	}
+	hOn, cOn := mOn.DataHash()
+	hOff, cOff := mOff.DataHash()
+	if hOn != hOff || cOn != cOff {
+		t.Errorf("DataHash diverged: cache on (%#x, %d) vs off (%#x, %d)", hOn, cOn, hOff, cOff)
+	}
+	if mOn.InstCount != mOff.InstCount {
+		t.Errorf("InstCount diverged: cache on %d vs off %d", mOn.InstCount, mOff.InstCount)
+	}
+	return sOn, sOff, bc
+}
+
+// TestBlockCacheEquivalence is the bit-identity gate for the block-
+// structured timed path: for every workload input at scale 1, TimingStats
+// and the functional data hash must match the legacy instruction-at-a-time
+// loop exactly — not approximately.
+func TestBlockCacheEquivalence(t *testing.T) {
+	for _, bench := range workload.Ordered() {
+		for _, in := range bench.Inputs {
+			in.Scale = 1
+			t.Run(bench.Name+"/"+in.Name, func(t *testing.T) {
+				img, err := bench.Build(in).Linearize()
+				if err != nil {
+					t.Fatalf("linearize: %v", err)
+				}
+				sOn, sOff, bc := timedPair(t, img)
+				if sOn != sOff {
+					t.Errorf("TimingStats diverged:\n  cache on:  %+v\n  cache off: %+v", sOn, sOff)
+				}
+				if bc.Stats.Misses == 0 {
+					t.Error("block cache decoded no blocks")
+				}
+				if bc.Stats.Hits+bc.Stats.Chained == 0 {
+					t.Error("block cache never re-dispatched a decoded block")
+				}
+			})
+		}
+	}
+}
+
+// TestBlockCacheReuse runs the same image twice through one cache: the
+// second run must decode nothing new and still be bit-identical.
+func TestBlockCacheReuse(t *testing.T) {
+	bench := workload.Ordered()[0]
+	in := bench.Inputs[0]
+	in.Scale = 1
+	img, err := bench.Build(in).Linearize()
+	if err != nil {
+		t.Fatalf("linearize: %v", err)
+	}
+	bc := NewBlockCache(img)
+	s1, _, err := RunTimedCached(DefaultConfig(), img, 0, bc)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	misses := bc.Stats.Misses
+	s2, _, err := RunTimedCached(DefaultConfig(), img, 0, bc)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if s1 != s2 {
+		t.Errorf("repeat run diverged:\n  first:  %+v\n  second: %+v", s1, s2)
+	}
+	if bc.Stats.Misses != misses {
+		t.Errorf("second run decoded %d new blocks, want 0", bc.Stats.Misses-misses)
+	}
+	if bc.Stats.Evicted != 0 {
+		t.Errorf("re-binding to the same image evicted %d blocks, want 0", bc.Stats.Evicted)
+	}
+}
+
+// TestBlockCacheInvalidateOnInstall checks the invalidation rule: binding
+// a cache to a different image evicts every decoded block, and the run on
+// the new image is still bit-identical to the legacy path.
+func TestBlockCacheInvalidateOnInstall(t *testing.T) {
+	benches := workload.Ordered()
+	inA := benches[0].Inputs[0]
+	inA.Scale = 1
+	imgA, err := benches[0].Build(inA).Linearize()
+	if err != nil {
+		t.Fatalf("linearize A: %v", err)
+	}
+	inB := benches[1].Inputs[0]
+	inB.Scale = 1
+	imgB, err := benches[1].Build(inB).Linearize()
+	if err != nil {
+		t.Fatalf("linearize B: %v", err)
+	}
+
+	bc := NewBlockCache(imgA)
+	if _, _, err := RunTimedCached(DefaultConfig(), imgA, 0, bc); err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	decoded := bc.Len()
+	if decoded == 0 {
+		t.Fatal("no blocks decoded for image A")
+	}
+
+	sOn, _, err := RunTimedCached(DefaultConfig(), imgB, 0, bc)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	if got := bc.Stats.Evicted; got != uint64(decoded) {
+		t.Errorf("installing image B evicted %d blocks, want %d", got, decoded)
+	}
+	offCfg := DefaultConfig()
+	offCfg.DisableBlockCache = true
+	sOff, _, err := RunTimed(offCfg, imgB, 0)
+	if err != nil {
+		t.Fatalf("legacy run B: %v", err)
+	}
+	if sOn != sOff {
+		t.Errorf("post-invalidation stats diverged:\n  cache on:  %+v\n  cache off: %+v", sOn, sOff)
+	}
+}
+
+// TestBlockCacheConcurrentRuns exercises concurrent timed runs over one
+// shared image, each with a private cache — the shape report.RunSuite
+// produces under -j N. Run under -race, this asserts that neither decode
+// nor dispatch mutates the shared image.
+func TestBlockCacheConcurrentRuns(t *testing.T) {
+	bench := workload.Ordered()[0]
+	in := bench.Inputs[0]
+	in.Scale = 1
+	img, err := bench.Build(in).Linearize()
+	if err != nil {
+		t.Fatalf("linearize: %v", err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	stats := make([]TimingStats, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], _, errs[i] = RunTimedCached(DefaultConfig(), img, 0, NewBlockCache(img))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if stats[i] != stats[0] {
+			t.Errorf("worker %d stats diverged from worker 0", i)
+		}
+	}
+}
+
+// TestBlockCacheLimitFallsBack: limit > 0 must use the per-instruction
+// loop so the limit is exact, and must keep the legacy error text.
+func TestBlockCacheLimitFallsBack(t *testing.T) {
+	bench := workload.Ordered()[0]
+	in := bench.Inputs[0]
+	in.Scale = 1
+	img, err := bench.Build(in).Linearize()
+	if err != nil {
+		t.Fatalf("linearize: %v", err)
+	}
+	_, m, err := RunTimed(DefaultConfig(), img, 1000)
+	if err == nil {
+		t.Fatal("want instruction-limit error, got nil")
+	}
+	if !strings.Contains(err.Error(), "instruction limit 1000 reached") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+	if m.InstCount != 1000 {
+		t.Errorf("limit run retired %d insts, want exactly 1000", m.InstCount)
+	}
+}
+
+// TestBlockCacheFaultState: a faulting run must park PC on the faulting
+// instruction and count only retired instructions, matching the legacy
+// loop's partial state.
+func TestBlockCacheFaultState(t *testing.T) {
+	src := `
+.func main
+.main
+  li r1, 3
+  ld r2, 0(r1)
+  halt
+`
+	img := mustAssemble(t, src)
+	offCfg := DefaultConfig()
+	offCfg.DisableBlockCache = true
+	_, mOff, errOff := RunTimed(offCfg, img, 0)
+	_, mOn, errOn := RunTimed(DefaultConfig(), img, 0)
+	if errOff == nil || errOn == nil {
+		t.Fatalf("want faults on both paths, got off=%v on=%v", errOff, errOn)
+	}
+	if errOn.Error() != errOff.Error() {
+		t.Errorf("fault text diverged:\n  cache on:  %v\n  cache off: %v", errOn, errOff)
+	}
+	if mOn.PC != mOff.PC || mOn.InstCount != mOff.InstCount {
+		t.Errorf("fault state diverged: cache on (pc %d, %d insts) vs off (pc %d, %d insts)",
+			mOn.PC, mOn.InstCount, mOff.PC, mOff.InstCount)
+	}
+}

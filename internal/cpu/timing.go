@@ -32,6 +32,12 @@ type Config struct {
 	// FetchLineSlots is how many instruction slots share an I-cache line
 	// (64-byte lines of 8-byte slots).
 	FetchLineSlots int
+
+	// DisableBlockCache forces RunTimed onto the legacy
+	// instruction-at-a-time loop instead of the block-structured path
+	// (see blockcache.go). The two are bit-identical; this is an escape
+	// hatch for debugging and for A/B-testing the cache itself.
+	DisableBlockCache bool
 }
 
 // DefaultConfig returns the paper's Table 2 machine model.
@@ -348,27 +354,62 @@ func (t *Timing) Finish() TimingStats {
 
 // RunTimed runs the program to completion on a fresh machine under this
 // timing model and returns the statistics. limit bounds retired
-// instructions (0 = unlimited). The retire/observe loop is fused here so
-// Observe is a direct method call on the concrete Timing instead of an
-// indirect call through a func value for every retired instruction.
+// instructions (0 = unlimited). It dispatches through a private, run-local
+// block cache; use RunTimedCached to share decoded blocks across repeated
+// runs of the same image.
 func RunTimed(cfg Config, img *prog.Image, limit uint64) (TimingStats, *Machine, error) {
+	return RunTimedCached(cfg, img, limit, nil)
+}
+
+// RunTimedCached is RunTimed with an explicit block cache. A nil bc gets a
+// fresh cache; a non-nil bc is re-bound to img (evicting its decoded
+// blocks if it was bound to a different image — the invalidation-on-
+// install rule) and keeps its entries otherwise, making repeated timed
+// runs of one image skip decode entirely.
+//
+// The legacy instruction-at-a-time loop is used when the config disables
+// the cache or when limit > 0 (the limit must be checked per instruction,
+// not per block; limits are only used for runaway-guard runs, never on the
+// measured suite path).
+func RunTimedCached(cfg Config, img *prog.Image, limit uint64, bc *BlockCache) (TimingStats, *Machine, error) {
 	m := NewMachine(img)
 	t := NewTiming(cfg, img)
+	if cfg.DisableBlockCache || limit > 0 {
+		if err := t.runLegacy(m, limit); err != nil {
+			return TimingStats{}, m, err
+		}
+		return t.Finish(), m, nil
+	}
+	if bc == nil {
+		bc = NewBlockCache(img)
+	} else {
+		bc.Bind(img)
+	}
+	if err := t.runBlocks(m, bc); err != nil {
+		return TimingStats{}, m, err
+	}
+	return t.Finish(), m, nil
+}
+
+// runLegacy is the instruction-at-a-time retire/observe loop. The loop is
+// fused so Observe is a direct method call on the concrete Timing instead
+// of an indirect call through a func value for every retired instruction.
+func (t *Timing) runLegacy(m *Machine, limit uint64) error {
 	var info StepInfo
 	code := m.Img.Code
 	n := int64(len(code))
 	for !m.Halted {
 		if limit > 0 && m.InstCount >= limit {
-			return TimingStats{}, m, fmt.Errorf("cpu: instruction limit %d reached at pc %d", limit, m.PC)
+			return fmt.Errorf("cpu: instruction limit %d reached at pc %d", limit, m.PC)
 		}
 		pc := m.PC
 		if uint64(pc) >= uint64(n) {
-			return TimingStats{}, m, fmt.Errorf("cpu: PC %d outside code image (len %d)", pc, n)
+			return fmt.Errorf("cpu: PC %d outside code image (len %d)", pc, n)
 		}
 		if err := m.exec(code[pc], &info); err != nil {
-			return TimingStats{}, m, err
+			return err
 		}
 		t.Observe(&info)
 	}
-	return t.Finish(), m, nil
+	return nil
 }

@@ -65,6 +65,11 @@ type VariantResult struct {
 	Launch     int
 	Phases     int
 	Equivalent bool
+
+	// BlockCacheHits/Misses are the timed run's basic-block cache traffic
+	// (hits include chained dispatches); both zero when the cache is off.
+	BlockCacheHits   uint64
+	BlockCacheMisses uint64
 }
 
 // InputResult aggregates one benchmark input.
@@ -125,6 +130,63 @@ func (s *Suite) TotalInsts() uint64 {
 type workItem struct {
 	b  *workload.Benchmark
 	in workload.Input
+}
+
+// profileMemo shares profiling work across the variants of one input.
+// Entries are keyed by core.Config.ProfileKey — the canonical hash of the
+// profiling-relevant sub-config — so variants that only differ in
+// packaging/optimization knobs (all four paper variants) collapse to a
+// single profile pass whose phase database, profile stats and baseline
+// timing are then shared read-only.
+type profileMemo struct {
+	mu      sync.Mutex
+	entries map[uint64]*profileEntry
+}
+
+// profileEntry is one memoized profiling result. once makes concurrent
+// first callers compute exactly once; the other fields are written inside
+// once.Do and read-only afterwards.
+type profileEntry struct {
+	once sync.Once
+	db   *phasedb.DB
+	st   core.ProfileStats
+	base cpu.TimingStats
+	err  error
+}
+
+// profile returns the memoized profiling result for cfg's profile
+// sub-config, running the pass at most once per distinct key. The pass
+// executes under the observer of whichever caller reaches once.Do first;
+// RunSuite always primes the memo from the input-level eager call, so the
+// profile span lands in the per-item recorder and variant traces stay
+// deterministic at every -j. Each call records a profile_memo.hits or
+// profile_memo.misses counter into its own observer.
+func (pm *profileMemo) profile(cfg core.Config, mc cpu.Config, img *prog.Image, o obs.Observer) (*phasedb.DB, core.ProfileStats, cpu.TimingStats, error) {
+	key := cfg.ProfileKey()
+	pm.mu.Lock()
+	e, ok := pm.entries[key]
+	if !ok {
+		if pm.entries == nil {
+			pm.entries = make(map[uint64]*profileEntry)
+		}
+		e = &profileEntry{}
+		pm.entries[key] = e
+	}
+	pm.mu.Unlock()
+	if ok {
+		o.Count("profile_memo.hits", 1)
+	} else {
+		o.Count("profile_memo.misses", 1)
+	}
+	e.once.Do(func() {
+		// One pass: HSD profile + baseline timing.
+		timing := cpu.NewTiming(mc, img)
+		e.db, e.st, e.err = core.ProfileObserved(cfg, img, timing.Observe, o)
+		if e.err == nil {
+			e.base = timing.Finish()
+		}
+	})
+	return e.db, e.st, e.base, e.err
 }
 
 // RunSuite executes the pipeline for every benchmark input and variant.
@@ -305,13 +367,15 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 	if err != nil {
 		return nil, err
 	}
-	// One pass: HSD profile + baseline timing.
-	timing := cpu.NewTiming(opts.Machine, img)
-	db, st, err := core.ProfileObserved(opts.Core, img, timing.Observe, o)
+	// Prime the cross-variant memo eagerly under the item observer: the
+	// single profile pass (HSD profile + baseline timing in one run) lands
+	// ahead of the variant spans in the trace, and every variant whose
+	// profiling sub-config matches — all four paper variants — hits.
+	memo := &profileMemo{}
+	db, st, base, err := memo.profile(opts.Core, opts.Machine, img, o)
 	if err != nil {
 		return nil, err
 	}
-	base := timing.Finish()
 
 	ir := &InputResult{
 		Bench:      b.Name,
@@ -343,7 +407,7 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 					rec = obs.NewRecorder()
 					vo = rec
 				}
-				ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v, vo)
+				ir.Variants[i], verrs[i] = runVariant(opts, p, img, memo, v, vo)
 				if rec != nil {
 					vtraces[i] = rec.Export()
 				}
@@ -355,7 +419,7 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 		}
 	} else {
 		for i, v := range variants {
-			ir.Variants[i], verrs[i] = runVariant(opts, p, db, st, base, v, o)
+			ir.Variants[i], verrs[i] = runVariant(opts, p, img, memo, v, o)
 		}
 	}
 	if err := errors.Join(verrs...); err != nil {
@@ -366,15 +430,21 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 }
 
 // runVariant packages a fresh clone of the profiled program under one
-// variant configuration and times it against the shared baseline. p, db
-// and st are read-only here.
-func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileStats, base cpu.TimingStats, v core.Variant, o obs.Observer) (VariantResult, error) {
+// variant configuration and times it against the shared baseline. The
+// profiling result comes from the input's memo — a hit for every variant
+// that shares the profiling sub-config; p and the memoized db/st/base are
+// read-only here.
+func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMemo, v core.Variant, o obs.Observer) (VariantResult, error) {
 	sp := obs.Span{}
 	if o.Enabled() {
 		sp = o.StartSpan("variant:" + v.Name())
 	}
 	defer sp.End()
 	cfg := v.Apply(opts.Core)
+	db, st, base, err := memo.profile(cfg, opts.Machine, img, o)
+	if err != nil {
+		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
+	}
 	clone := p.Clone()
 	// The clone linearizes identically to the profiled program (IDs
 	// and layout are preserved), so the phase database's PCs map onto
@@ -392,12 +462,21 @@ func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileSt
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
 	esp := o.StartSpan(obs.StageEvaluate)
-	stats, m, err := cpu.RunTimed(opts.Machine, packedImg, 0)
+	var bc *cpu.BlockCache
+	if !opts.Machine.DisableBlockCache {
+		bc = cpu.NewBlockCache(packedImg)
+	}
+	stats, m, err := cpu.RunTimedCached(opts.Machine, packedImg, 0, bc)
 	esp.End()
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: timed run: %w", v.Name(), err)
 	}
 	o.Observe("eval.cycles", float64(stats.Cycles))
+	if bc != nil {
+		o.Count("blockcache.hits", int64(bc.Stats.Hits+bc.Stats.Chained))
+		o.Count("blockcache.misses", int64(bc.Stats.Misses))
+		o.Count("blockcache.evictions", int64(bc.Stats.Evicted))
+	}
 	h, n := m.DataHash()
 	vr := VariantResult{
 		Variant:    v,
@@ -410,6 +489,10 @@ func runVariant(opts Options, p *prog.Program, db *phasedb.DB, st core.ProfileSt
 		Launch:     out.Pack.LaunchPoints,
 		Phases:     len(out.Regions),
 		Equivalent: h == st.DataHash && n == st.DataStores,
+	}
+	if bc != nil {
+		vr.BlockCacheHits = bc.Stats.Hits + bc.Stats.Chained
+		vr.BlockCacheMisses = bc.Stats.Misses
 	}
 	if stats.Cycles > 0 {
 		vr.Speedup = float64(base.Cycles) / float64(stats.Cycles)

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/obs"
+	"repro/internal/workload"
 )
 
 // runSmallSuite runs two benchmarks at scale 1 and caches the result across
@@ -267,5 +269,113 @@ func TestRunSuiteSentinelErrors(t *testing.T) {
 	}
 	if !errors.Is(err, core.ErrNoPhases) {
 		t.Errorf("errors.Is(err, core.ErrNoPhases) = false for %v", err)
+	}
+}
+
+// TestRunSuiteProfileMemo is the acceptance gate for cross-variant profile
+// reuse: with all four variants sharing the profiling sub-config, RunSuite
+// must run exactly one profile pass per (bench, input) — misses equal to
+// the item count, one hit per variant.
+func TestRunSuiteProfileMemo(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		rec := obs.NewRecorder()
+		s, err := RunSuite(Options{
+			Machine:       cpu.DefaultConfig(),
+			Core:          core.ScaledConfig(),
+			Benchmarks:    []string{"m88ksim", "perl"},
+			ScaleOverride: 1,
+			Jobs:          jobs,
+			Observer:      rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := rec.Export()
+		items := int64(len(s.Results))
+		if got := tr.Metrics.Counters["profile_memo.misses"]; got != items {
+			t.Errorf("-j %d: profile_memo.misses = %d, want %d (one profile pass per input)", jobs, got, items)
+		}
+		if got := tr.Metrics.Counters["profile_memo.hits"]; got != 4*items {
+			t.Errorf("-j %d: profile_memo.hits = %d, want %d (one hit per variant)", jobs, got, 4*items)
+		}
+		// The block cache is on by default; every variant's timed run must
+		// report its traffic.
+		if got := tr.Metrics.Counters["blockcache.misses"]; got <= 0 {
+			t.Errorf("-j %d: blockcache.misses = %d, want > 0", jobs, got)
+		}
+		if got := tr.Metrics.Counters["blockcache.hits"]; got <= 0 {
+			t.Errorf("-j %d: blockcache.hits = %d, want > 0", jobs, got)
+		}
+		if got := tr.Metrics.Counters["blockcache.evictions"]; got != 0 {
+			t.Errorf("-j %d: blockcache.evictions = %d, want 0 (per-variant caches never rebind)", jobs, got)
+		}
+		for _, r := range s.Results {
+			for _, v := range r.Variants {
+				if v.BlockCacheHits == 0 || v.BlockCacheMisses == 0 {
+					t.Errorf("%s/%s %s: block cache traffic (%d hits, %d misses) not recorded",
+						r.Bench, r.Input, v.Variant.Name(), v.BlockCacheHits, v.BlockCacheMisses)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileMemoConcurrent hammers one memo from many goroutines with
+// two distinct profiling sub-configs: each key must compute exactly once,
+// every caller must see the same shared entry, and the counters must add
+// up. Run under -race (verify.sh does) this doubles as the data-race gate
+// for the cross-variant sharing.
+func TestProfileMemoConcurrent(t *testing.T) {
+	bench, err := workload.ByName("m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bench.Inputs[0]
+	in.Scale = 1
+	img, err := bench.Build(in).Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := core.ScaledConfig()
+	cfgB := core.ScaledConfig()
+	cfgB.Detector.CandidateThreshold++ // distinct profiling sub-config
+
+	memo := &profileMemo{}
+	rec := obs.NewRecorder()
+	const workers = 8
+	var wg sync.WaitGroup
+	dbs := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := cfgA
+			if i%2 == 1 {
+				cfg = cfgB
+			}
+			db, _, _, err := memo.profile(cfg, cpu.DefaultConfig(), img, rec)
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			dbs[i] = db
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < workers; i++ {
+		if dbs[i] != dbs[i%2] {
+			t.Errorf("worker %d did not share worker %d's phase database", i, i%2)
+		}
+	}
+	if dbs[0] == dbs[1] {
+		t.Error("distinct profiling sub-configs shared one entry")
+	}
+	tr := rec.Export()
+	hits := tr.Metrics.Counters["profile_memo.hits"]
+	misses := tr.Metrics.Counters["profile_memo.misses"]
+	if misses != 2 {
+		t.Errorf("profile_memo.misses = %d, want 2 (one per distinct key)", misses)
+	}
+	if hits+misses != workers {
+		t.Errorf("hits %d + misses %d != %d calls", hits, misses, workers)
 	}
 }

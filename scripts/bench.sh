@@ -16,7 +16,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 
 echo "== interpreter hot-loop microbenchmarks (internal/cpu) =="
 go test -run '^$' \
-  -bench 'BenchmarkMachineStep|BenchmarkMachineRunTimed|BenchmarkMemory|BenchmarkCacheAccess|BenchmarkTimingObserve' \
+  -bench 'BenchmarkMachineStep|BenchmarkMachineRunTimed|BenchmarkTimedBlock|BenchmarkTimedNoCache|BenchmarkMemory|BenchmarkCacheAccess|BenchmarkTimingObserve' \
   -benchtime "$BENCHTIME" ./internal/cpu/
 
 echo
@@ -35,7 +35,7 @@ echo
 echo "== full suite wall time (scale 1, default -j) =="
 go run ./cmd/vpbench -q -scale 1 -benchjson BENCH_pipeline.json >/dev/null
 echo "BENCH_pipeline.json refreshed:"
-grep -E '"wall_seconds"|"jobs"|"insts_per_second"' BENCH_pipeline.json | tail -3
+grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"' BENCH_pipeline.json | tail -4
 
 echo
 echo "== observer overhead (disabled vs enabled suite run) =="

@@ -14,14 +14,23 @@ go test ./...
 go test -race ./internal/report/...
 go test -race ./internal/obs/...
 go test -race ./internal/telemetry/...
+# Block-structured timed simulation: race the cache's concurrent-use shape
+# (shared image, private caches) and the memo-backed suite plumbing. The
+# full-suite equivalence table runs in the plain `go test ./...` above;
+# racing it too would double wall time for no extra coverage.
+go test -race -run 'TestBlockCache' ./internal/cpu/
 
 # Trace regression gate: the golden is Normalize()d (wall times zeroed),
 # so this diff bites exactly on the deterministic pipeline counters —
 # phases detected, regions grown, packages built/linked, simulated
-# cycles. A counter regressing >10% fails verification.
+# cycles. A counter regressing >10% fails verification. The gate runs
+# twice — block cache on (the default) and off — because the two timed
+# paths must be bit-identical: one golden serves both.
 trace_tmp="$(mktemp)"
 trap 'rm -f "$trace_tmp"' EXIT
 go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -trace "$trace_tmp" >/dev/null
+go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
+go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -blockcache=off -trace "$trace_tmp" >/dev/null
 go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
 
 echo "tier-1 verify: OK"

@@ -163,6 +163,11 @@ type (
 	Machine = cpu.Machine
 	// StepInfo describes one retired instruction for run observers.
 	StepInfo = cpu.StepInfo
+	// BlockCache holds an image's pre-decoded basic blocks for the
+	// block-structured timed simulator.
+	BlockCache = cpu.BlockCache
+	// BlockCacheStats counts block-cache dispatches and evictions.
+	BlockCacheStats = cpu.BlockCacheStats
 )
 
 // DefaultMachine returns the paper's Table 2 machine model.
@@ -174,6 +179,15 @@ func NewMachine(img *Image) *Machine { return cpu.NewMachine(img) }
 // RunTimed runs an image to completion under the timing model.
 func RunTimed(mc MachineConfig, img *Image, limit uint64) (TimingStats, *Machine, error) {
 	return cpu.RunTimed(mc, img, limit)
+}
+
+// NewBlockCache returns an empty basic-block cache bound to img.
+func NewBlockCache(img *Image) *BlockCache { return cpu.NewBlockCache(img) }
+
+// RunTimedCached is RunTimed with a caller-owned block cache, so repeated
+// timed runs of one image skip block decode entirely.
+func RunTimedCached(mc MachineConfig, img *Image, limit uint64, bc *BlockCache) (TimingStats, *Machine, error) {
+	return cpu.RunTimedCached(mc, img, limit, bc)
 }
 
 // Profiling building blocks, for callers that want the detector stream

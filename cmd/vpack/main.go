@@ -66,6 +66,7 @@ func main() {
 		noLink    = flag.Bool("nolink", false, "disable package linking")
 		dynL      = flag.Bool("dynlaunch", false, "use dynamic launch-point selection instead of static links")
 		noOpt     = flag.Bool("noopt", false, "disable layout and rescheduling")
+		verifyOn  = flag.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		verbose   = flag.Bool("v", false, "per-phase and per-package detail")
 		quiet     = flag.Bool("q", false, "print only the final coverage/speedup line (same as -log off for diagnostics)")
@@ -151,6 +152,7 @@ func main() {
 	}
 	cfg.EnableLayout = !*noOpt
 	cfg.EnableSchedule = !*noOpt
+	cfg.Verify = *verifyOn
 
 	if !*quiet {
 		fmt.Printf("%s: %d funcs, %d blocks, %d static insts\n",
@@ -228,5 +230,8 @@ func main() {
 func fatal(err error) {
 	flushTrace()
 	fmt.Fprintln(os.Stderr, "vpack:", err)
+	if errors.Is(err, core.ErrVerifyFailed) {
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

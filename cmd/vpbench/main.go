@@ -18,6 +18,8 @@
 //	vpbench -serve :9090    # expose /metrics, /trace, /healthz, /readyz,
 //	                        # /debug/pprof while the suite runs
 //	vpbench -log json       # structured progress records (text|json|off)
+//	vpbench -verify         # static verifier gates every stage (exit 3 on violation)
+//	vpbench -verifyoverhead # extra verify-on run, overhead recorded in -benchjson
 package main
 
 import (
@@ -56,6 +58,12 @@ type benchJSON struct {
 
 	// Reps is the -reps best-of count; WallSeconds is the best rep.
 	Reps int `json:"reps,omitempty"`
+	// VerifyWallSeconds is the wall time of the extra verify-on suite run
+	// -verifyoverhead performs; VerifyOverheadFraction relates it to the
+	// main run (0.03 = 3% slower with the static verifier gating every
+	// stage).
+	VerifyWallSeconds      float64 `json:"verify_wall_seconds,omitempty"`
+	VerifyOverheadFraction float64 `json:"verify_overhead_fraction,omitempty"`
 	// BlockCacheHitRate aggregates the timed runs' basic-block cache
 	// traffic across all variants (absent when -blockcache=off).
 	BlockCacheHitRate float64 `json:"blockcache_hit_rate,omitempty"`
@@ -87,6 +95,8 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
 		metrics    = flag.Bool("metrics", false, "print per-stage wall-time, counter, gauge and histogram tables after the suite")
 		tracePath  = flag.String("trace", "", "write the suite's JSON span/event/metric trace to `file`")
+		verifyOn   = flag.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
+		verifyOH   = flag.Bool("verifyoverhead", false, "additionally run the suite once with -verify on and record the overhead in -benchjson")
 	)
 	flag.Parse()
 
@@ -115,6 +125,7 @@ func main() {
 		ScaleOverride: *scale,
 		Jobs:          *jobs,
 	}
+	opts.Core.Verify = *verifyOn
 	switch *blockcache {
 	case "on":
 	case "off":
@@ -187,6 +198,9 @@ func main() {
 				fmt.Fprintln(os.Stderr, "vpbench: hint: some inputs were too short for the detector; raise -scale")
 			}
 			fmt.Fprintln(os.Stderr, "vpbench:", err)
+			if errors.Is(err, core.ErrVerifyFailed) {
+				os.Exit(3)
+			}
 			os.Exit(1)
 		}
 		if nreps > 1 {
@@ -203,8 +217,35 @@ func main() {
 		}
 	}
 
+	// Verifier overhead measurement: extra suite runs with every stage
+	// gate on, timed against the main run. Best-of-nreps on both sides, so
+	// the recorded fraction compares like with like instead of one noisy
+	// run against the best baseline. Tables and traces still come from the
+	// main run.
+	verifyWall := 0.0
+	if *verifyOH {
+		vOpts := opts
+		vOpts.Core.Verify = true
+		vOpts.Observer = nil
+		for r := 1; r <= nreps; r++ {
+			vSuite, err := report.RunSuite(vOpts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vpbench: verify-on run:", err)
+				if errors.Is(err, core.ErrVerifyFailed) {
+					os.Exit(3)
+				}
+				os.Exit(1)
+			}
+			if verifyWall == 0 || vSuite.Elapsed.Seconds() < verifyWall {
+				verifyWall = vSuite.Elapsed.Seconds()
+			}
+		}
+		logger.Info("verify-on suite complete", "wall", verifyWall,
+			"overhead", fmt.Sprintf("%+.2f%%", 100*(verifyWall/suite.Elapsed.Seconds()-1)))
+	}
+
 	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, suite, *scale, nreps); err != nil {
+		if err := writeBenchJSON(*benchjson, suite, *scale, nreps, verifyWall); err != nil {
 			fmt.Fprintln(os.Stderr, "vpbench:", err)
 			os.Exit(1)
 		}
@@ -363,7 +404,7 @@ type trajectory struct {
 	Latest  benchJSON         `json:"latest"`
 }
 
-func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int) error {
+func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, verifyWall float64) error {
 	wall := suite.Elapsed.Seconds()
 	rec := benchJSON{
 		Schema:      "vpbench-suite/v1",
@@ -377,6 +418,12 @@ func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int) err
 	}
 	if reps > 1 {
 		rec.Reps = reps
+	}
+	if verifyWall > 0 {
+		rec.VerifyWallSeconds = verifyWall
+		if wall > 0 {
+			rec.VerifyOverheadFraction = verifyWall/wall - 1
+		}
 	}
 	if wall > 0 {
 		rec.InstsPerSecond = float64(rec.TotalInsts) / wall

@@ -1,0 +1,174 @@
+// Command vplint adapts internal/lint to the `go vet -vettool` protocol,
+// so the repository's custom checks (insts-mutation, dropped-observer)
+// run over every package with ordinary build caching:
+//
+//	go build -o bin/vplint ./cmd/vplint
+//	go vet -vettool=$PWD/bin/vplint ./...
+//
+// The protocol (the same one golang.org/x/tools' unitchecker speaks,
+// reimplemented here on the standard library alone): cmd/go first probes
+// the tool with -V=full (version for the build cache key) and -flags
+// (supported analyzer flags, JSON), then invokes it once per package with
+// the path of a JSON "vet config" describing the compilation unit. The
+// tool must write the facts file named by VetxOutput even when it has
+// nothing to say, print findings as file:line:col: msg on stderr, and
+// exit 2 when there are findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the JSON compilation-unit description cmd/go hands a
+// vettool. Fields we don't consult are omitted.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-flags":
+			fmt.Println("[]") // no analyzer flags
+			return
+		case strings.HasPrefix(os.Args[1], "-V"):
+			// Build-cache identity probe. cmd/go requires the form
+			// "name version devel ... buildID=<id>" and keys its vet cache
+			// on the id, so derive it from this binary's content hash —
+			// rebuilding vplint then correctly invalidates cached results.
+			fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), selfID())
+			return
+		}
+	}
+	exit := 0
+	for _, arg := range os.Args[1:] {
+		if strings.HasPrefix(arg, "-") {
+			continue
+		}
+		if runUnit(arg) {
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+// runUnit lints one compilation unit and reports whether it produced
+// findings. Any protocol or typecheck problem is treated as "nothing to
+// report" — vet must not fail the build for packages we cannot load.
+func runUnit(cfgPath string) bool {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("%s: %v", cfgPath, err))
+	}
+	// cmd/go caches on the facts file; write it unconditionally, first,
+	// so every early return below still satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return false
+	}
+	// Only our module's packages; dependencies and the standard library
+	// are none of this linter's business.
+	if cfg.ImportPath != "repro" && !strings.HasPrefix(cfg.ImportPath, "repro/") {
+		return false
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Test files corrupt IR and stub observers on purpose.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			return false // typecheck-failure policy: stay silent
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	tconf := types.Config{Importer: imp, Error: func(error) {}}
+	if _, err := tconf.Check(cfg.ImportPath, fset, files, info); err != nil {
+		return false // SucceedOnTypecheckFailure: vet proper reports these
+	}
+
+	diags := lint.Analyze(fset, files, info, cfg.ImportPath)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s\n", pos, d)
+	}
+	return len(diags) > 0
+}
+
+// selfID returns a hex content hash of the running executable, for the
+// -V=full build-cache identity.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:12])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vplint:", err)
+	os.Exit(1)
+}

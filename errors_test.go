@@ -2,10 +2,13 @@ package vacuumpack
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/cpu"
+	"repro/internal/prog"
 	"repro/internal/report"
+	"repro/internal/verify"
 )
 
 // TestSentinelErrorsThroughSuite asserts the facade's sentinel errors
@@ -32,5 +35,31 @@ func TestSentinelErrorsThroughSuite(t *testing.T) {
 	}
 	if errors.Is(err, ErrNoPackages) {
 		t.Errorf("err unexpectedly matches ErrNoPackages: %v", err)
+	}
+}
+
+// TestErrVerifyFailedMatchesVerifierErrors asserts the facade sentinel
+// matches any verifier failure through arbitrary %w wrapping — the shape
+// vpack/vpbench/vpverify rely on for their exit-code-3 paths — and that
+// the structured diagnostics stay extractable from the wrapped chain.
+func TestErrVerifyFailedMatchesVerifierErrors(t *testing.T) {
+	p := prog.New() // no Main, no functions: cfg/main must fire
+	err := verify.Program("test", p)
+	if err == nil {
+		t.Fatal("empty program passed verification")
+	}
+	wrapped := fmt.Errorf("core: post-optimization verification: %w", err)
+	if !errors.Is(wrapped, ErrVerifyFailed) {
+		t.Errorf("errors.Is(wrapped, vacuumpack.ErrVerifyFailed) = false for %v", wrapped)
+	}
+	if errors.Is(wrapped, ErrNoPhases) || errors.Is(wrapped, ErrNoPackages) {
+		t.Errorf("verifier error matches an unrelated sentinel: %v", wrapped)
+	}
+	diags := verify.Diagnostics(wrapped)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics extractable from wrapped verifier error")
+	}
+	if diags[0].Rule != "cfg/main" {
+		t.Errorf("rule = %q, want cfg/main", diags[0].Rule)
 	}
 }

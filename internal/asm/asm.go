@@ -390,7 +390,7 @@ func (a *assembler) instruction(line string) error {
 		if err != nil {
 			return err
 		}
-		b.Insts = append(b.Insts, prog.Ins{Inst: isa.Inst{Op: isa.LA, Rd: rd}})
+		b.Append(prog.Ins{Inst: isa.Inst{Op: isa.LA, Rd: rd}})
 		a.fixes = append(a.fixes, fixup{block: b, field: "la", laIdx: len(b.Insts) - 1, label: args[1], line: a.line})
 		return nil
 	}
@@ -488,7 +488,7 @@ func (a *assembler) instruction(line string) error {
 	if err != nil {
 		return err
 	}
-	b.Insts = append(b.Insts, prog.Ins{Inst: in})
+	b.Append(prog.Ins{Inst: in})
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/phasedb"
 	"repro/internal/prog"
 	"repro/internal/region"
+	"repro/internal/verify"
 )
 
 // Sentinel pipeline failures. They are always wrapped with detail via %w,
@@ -31,6 +32,10 @@ var (
 	// ErrNoPackages reports that package construction failed for every
 	// identified region.
 	ErrNoPackages = errors.New("no packages constructed")
+	// ErrVerifyFailed reports that the static verifier (Config.Verify)
+	// rejected a pipeline stage's output. The wrapped chain contains a
+	// *verify.Error with the structured diagnostics.
+	ErrVerifyFailed = verify.ErrFailed
 )
 
 // Config gathers every pipeline knob. The zero value is not useful; start
@@ -73,6 +78,15 @@ type Config struct {
 	ProfileLimit uint64
 	// EntrySeedWeight seeds weight propagation at package entries.
 	EntrySeedWeight float64
+
+	// Verify gates every pipeline stage on the static verifier
+	// (internal/verify): regions are checked against their phase records,
+	// installation against the package invariants, and each optimization
+	// pass against CFG well-formedness, with transformation certificates
+	// re-checked after the last pass. Off by default; a violation fails
+	// the pipeline with an ErrVerifyFailed-matchable error. Enabled runs
+	// bump the verify.checked / verify.violations counters.
+	Verify bool
 }
 
 // DefaultConfig returns the paper's configuration: Table 2 detector,
@@ -337,6 +351,12 @@ func PackageObserved(cfg Config, out *Outcome, p *prog.Program, img *prog.Image,
 			o.Count("region.skipped_phases", 1)
 			continue
 		}
+		if cfg.Verify {
+			if err := verifyCheck(o, verify.Region("region", cfg.Region, img, ph, r)); err != nil {
+				rsp.End()
+				return fmt.Errorf("core: region verification (phase %d): %w", ph.ID, err)
+			}
+		}
 		out.Regions = append(out.Regions, r)
 		regByPhase[ph.ID] = r
 	}
@@ -362,7 +382,18 @@ func PackageObserved(cfg Config, out *Outcome, p *prog.Program, img *prog.Image,
 	if len(pkgs) == 0 {
 		return fmt.Errorf("core: %w", ErrNoPackages)
 	}
-	res, err := pack.InstallObserved(cfg.Pack, p, pkgs, o)
+	pcfg := cfg.Pack
+	if cfg.Verify {
+		// Sandwich hook: InstallObserved runs this after its built-in
+		// structural check, before the result escapes.
+		pcfg.Verify = func(p *prog.Program, res *pack.Result) error {
+			if err := verifyCheck(o, verify.Program("link", p)); err != nil {
+				return err
+			}
+			return verifyCheck(o, verify.Packages("link", p, res))
+		}
+	}
+	res, err := pack.InstallObserved(pcfg, p, pkgs, o)
 	if err != nil {
 		return err
 	}
@@ -371,23 +402,65 @@ func PackageObserved(cfg Config, out *Outcome, p *prog.Program, img *prog.Image,
 	// Optimization (§5.4): weight calculation, relayout, rescheduling.
 	osp := o.StartSpan(obs.StageOptimize)
 	ps := cfg.passes()
+	var rec *opt.PassRecord
+	if cfg.Verify {
+		rec = &opt.PassRecord{}
+		ps.Record = rec
+	}
 	for _, pk := range res.Packages {
 		r := regByPhase[pk.PhaseID]
 		if r == nil {
 			continue
 		}
+		if cfg.Verify {
+			// Passes mutate only pk.Fn, so the per-pass sandwich checks
+			// just that function; the stage-boundary checks below re-prove
+			// the whole program.
+			fn := pk.Fn
+			ps.Check = func(pass string) error {
+				return verifyCheck(o, verify.Func("optimize/"+pass, p, fn))
+			}
+		}
 		entries := make([]*prog.Block, 0, len(pk.Entries))
 		for _, c := range pk.Entries {
 			entries = append(entries, c)
 		}
-		opt.ApplyPasses(ps, p, pk.Fn, entries, r, o)
+		if err := opt.ApplyPasses(ps, p, pk.Fn, entries, r, o); err != nil {
+			osp.End()
+			return fmt.Errorf("core: pass verification (%s): %w", pk.Fn.Name, err)
+		}
 	}
 	osp.End()
 
 	if err := p.Verify(); err != nil {
 		return fmt.Errorf("core: packed program invalid: %w", err)
 	}
+	if cfg.Verify {
+		checks := []error{
+			verifyCheck(o, verify.Program("optimize", p)),
+			verifyCheck(o, verify.Packages("optimize", p, res)),
+			verifyCheck(o, verify.Passes("optimize", p, rec)),
+			verifyCheck(o, verify.Schedule("optimize", rec)),
+		}
+		for _, err := range checks {
+			if err != nil {
+				return fmt.Errorf("core: post-optimization verification: %w", err)
+			}
+		}
+	}
 	return nil
+}
+
+// verifyCheck accounts one verifier invocation on the observer and passes
+// its error through: verify.checked counts invocations, verify.violations
+// counts individual diagnostics.
+func verifyCheck(o obs.Observer, err error) error {
+	o.Count("verify.checked", 1)
+	if err == nil {
+		return nil
+	}
+	o.Count("verify.violations", int64(len(verify.Diagnostics(err))))
+	return err
 }
 
 // Evaluation is a timed comparison of the original and packed programs.

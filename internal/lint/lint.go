@@ -1,0 +1,177 @@
+// Package lint implements the repository's custom static checks, run over
+// every package by cmd/vplint (a go vet -vettool). Two rules:
+//
+//	lint/insts-mutation — prog.Block.Insts is assigned, element-assigned or
+//	    rebuilt outside internal/prog, internal/opt and internal/pack. The
+//	    instruction list is owned by the IR and its transformation passes;
+//	    everyone else must treat it as read-only or the verifier's
+//	    certificates (opt.PassRecord) go stale silently.
+//
+//	lint/dropped-observer — a function takes a non-blank obs.Observer
+//	    parameter and never uses it. An accepted-then-ignored observer
+//	    silently truncates the trace for every caller upstream; either
+//	    forward it or make the parameter blank to document the drop.
+//
+// The analysis is purely syntactic + type-based over one package at a
+// time, so it slots into the vet unitchecker protocol without needing
+// facts from dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Pos  token.Pos
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Rule, d.Msg)
+}
+
+// instsOwners are the package-path suffixes allowed to mutate
+// prog.Block.Insts: the IR itself and the two transformation layers.
+var instsOwners = []string{"internal/prog", "internal/opt", "internal/pack"}
+
+// Analyze runs both rules over one typechecked package and returns the
+// findings. pkgPath is the package's import path (used to exempt the
+// Insts owners); info must have Uses, Defs, Types and Selections filled.
+func Analyze(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string) []Diagnostic {
+	var diags []Diagnostic
+	mayMutate := false
+	for _, own := range instsOwners {
+		if strings.HasSuffix(pkgPath, own) {
+			mayMutate = true
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if mayMutate {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if sel, ok := instsTarget(lhs, info); ok {
+						diags = append(diags, Diagnostic{
+							Pos:  sel.Sel.Pos(),
+							Rule: "lint/insts-mutation",
+							Msg:  "prog.Block.Insts mutated outside internal/prog, internal/opt and internal/pack",
+						})
+					}
+				}
+			case *ast.FuncDecl:
+				diags = append(diags, droppedObservers(n, info)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// instsTarget reports whether lhs writes through a selector
+// <block>.Insts where <block> has the prog.Block named type. Element
+// and slice writes (b.Insts[i] = ..., b.Insts[i:j]) unwrap to the same
+// selector.
+func instsTarget(lhs ast.Expr, info *types.Info) (*ast.SelectorExpr, bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SliceExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if e.Sel.Name != "Insts" {
+				return nil, false
+			}
+			if isProgBlock(info.TypeOf(e.X)) {
+				return e, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isProgBlock reports whether t is prog.Block or *prog.Block, matching
+// the defining package by path suffix so tests can use stub packages.
+func isProgBlock(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Block" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/prog")
+}
+
+// isObserver reports whether t is the obs.Observer interface.
+func isObserver(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Observer" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// droppedObservers flags fn's non-blank obs.Observer parameters that the
+// body never reads.
+func droppedObservers(fn *ast.FuncDecl, info *types.Info) []Diagnostic {
+	if fn.Body == nil || fn.Type.Params == nil {
+		return nil
+	}
+	var params []*types.Var
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := info.Defs[name].(*types.Var)
+			if !ok || !isObserver(obj.Type()) {
+				continue
+			}
+			params = append(params, obj)
+		}
+	}
+	if len(params) == 0 {
+		return nil
+	}
+	used := make(map[*types.Var]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			used[v] = true
+		}
+		return true
+	})
+	var diags []Diagnostic
+	for _, p := range params {
+		if !used[p] {
+			diags = append(diags, Diagnostic{
+				Pos:  p.Pos(),
+				Rule: "lint/dropped-observer",
+				Msg: fmt.Sprintf("observer parameter %q of %s is never used; forward it or make it blank",
+					p.Name(), fn.Name.Name),
+			})
+		}
+	}
+	return diags
+}

@@ -16,6 +16,10 @@ import (
 // address, not a function entry (call/launch target). MergeBlocks returns
 // the number of blocks fused.
 func MergeBlocks(p *prog.Program, fn *prog.Func) int {
+	return mergeBlocks(p, fn, nil)
+}
+
+func mergeBlocks(p *prog.Program, fn *prog.Func, rec *PassRecord) int {
 	p.ComputePreds()
 	// Blocks whose address escapes through LA must stay addressable.
 	laTargets := make(map[*prog.Block]bool)
@@ -58,6 +62,9 @@ func MergeBlocks(p *prog.Program, fn *prog.Func) int {
 					fn.Blocks = append(fn.Blocks[:i], fn.Blocks[i+1:]...)
 					break
 				}
+			}
+			if rec != nil {
+				rec.Merges = append(rec.Merges, MergeRecord{Into: b, Fused: c})
 			}
 			merged++
 			changed = true

@@ -221,7 +221,7 @@ func TestScheduleSemanticsProperty(t *testing.T) {
 		b := randomBlock(r, 2+r.Intn(30))
 		want := append([]prog.Ins(nil), b.Insts...)
 		regsBefore, memBefore := simulate(b)
-		scheduleBlock(b, res)
+		scheduleBlock(b, res, nil)
 		if len(b.Insts) != len(want) {
 			t.Fatalf("trial %d: schedule changed instruction count", trial)
 		}
@@ -283,7 +283,7 @@ func TestScheduleRespectsMemoryOrdering(t *testing.T) {
 		{Inst: isa.Inst{Op: isa.LD, Rd: 2, Rs1: isa.R0, Imm: 0}},
 		{Inst: isa.Inst{Op: isa.ST, Rs2: 2, Rs1: isa.R0, Imm: 8}},
 	}
-	scheduleBlock(b, DefaultResources())
+	scheduleBlock(b, DefaultResources(), nil)
 	storeSeen, loadSeen := -1, -1
 	for i, in := range b.Insts {
 		if in.Op == isa.ST && in.Imm == 0 {
@@ -434,7 +434,7 @@ func TestScheduleDisambiguatesMemory(t *testing.T) {
 		{Inst: isa.Inst{Op: isa.MUL, Rd: 3, Rs1: 1, Rs2: 1}},
 		{Inst: isa.Inst{Op: isa.LD, Rd: 2, Rs1: isa.R0, Imm: 8}}, // disjoint from the store
 	}
-	scheduleBlock(b, DefaultResources())
+	scheduleBlock(b, DefaultResources(), nil)
 	pos := map[isa.Opcode]int{}
 	for i, in := range b.Insts {
 		pos[in.Op] = i
@@ -449,7 +449,7 @@ func TestScheduleDisambiguatesMemory(t *testing.T) {
 		{Inst: isa.Inst{Op: isa.ST, Rs2: 1, Rs1: isa.R0, Imm: 0}},
 		{Inst: isa.Inst{Op: isa.LD, Rd: 2, Rs1: isa.R0, Imm: 0}},
 	}
-	scheduleBlock(b2, DefaultResources())
+	scheduleBlock(b2, DefaultResources(), nil)
 	st, ld := -1, -1
 	for i, in := range b2.Insts {
 		if in.Op == isa.ST {
@@ -474,7 +474,7 @@ func TestScheduleRedefinedBaseIsConservative(t *testing.T) {
 		{Inst: isa.Inst{Op: isa.ADDI, Rd: 4, Rs1: 4, Imm: -8}},
 		{Inst: isa.Inst{Op: isa.LD, Rd: 5, Rs1: 4, Imm: 8}}, // same address as the store!
 	}
-	scheduleBlock(b, DefaultResources())
+	scheduleBlock(b, DefaultResources(), nil)
 	st, ld := -1, -1
 	for i, in := range b.Insts {
 		if in.Op == isa.ST {

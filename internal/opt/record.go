@@ -1,0 +1,41 @@
+package opt
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// PassRecord collects transformation certificates from the optimization
+// passes so a verifier can re-check their soundness after the fact. One
+// record may accumulate over several functions (core uses one per
+// installed program). Recording is off unless Passes.Record is set; the
+// default pass entry points never allocate for it.
+type PassRecord struct {
+	// Merges lists every block fusion MergeBlocks performed, in order.
+	Merges []MergeRecord
+	// Sinks lists every instruction SinkColdCode moved into an exit block.
+	Sinks []SinkRecord
+	// Cycles maps each scheduled block to the issue cycle of every
+	// instruction, indexed in the block's final (post-schedule) order.
+	Cycles map[*prog.Block][]int
+	// Scheduled lists the functions Schedule ran over, in order.
+	Scheduled []*prog.Func
+	// Res is the resource model the schedules were packed for.
+	Res Resources
+}
+
+// MergeRecord certifies one MergeBlocks fusion: Fused was appended onto
+// Into and removed from the layout.
+type MergeRecord struct {
+	Into  *prog.Block
+	Fused *prog.Block
+}
+
+// SinkRecord certifies one SinkColdCode move: Ins, defining Def, was
+// removed from From's body and prepended to its side exit Exit.
+type SinkRecord struct {
+	From *prog.Block
+	Exit *prog.Block
+	Ins  prog.Ins
+	Def  isa.Reg
+}

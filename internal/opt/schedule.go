@@ -22,6 +22,10 @@ func DefaultResources() Resources {
 	return Resources{IssueWidth: 8, IntALUs: 5, FPUnits: 3, MemUnits: 3, BranchUnits: 3}
 }
 
+// Limit returns the per-cycle issue capacity of one functional-unit
+// class (FUNone falls back to the machine's issue width).
+func (r Resources) Limit(fu isa.FUClass) int { return r.limit(fu) }
+
 func (r Resources) limit(fu isa.FUClass) int {
 	switch fu {
 	case isa.FUIALU:
@@ -43,8 +47,33 @@ func (r Resources) limit(fu isa.FUClass) int {
 // conservative memory ordering) are preserved exactly; the terminator stays
 // the block's final operation.
 func Schedule(fn *prog.Func, res Resources) {
+	schedule(fn, res, nil)
+}
+
+func schedule(fn *prog.Func, res Resources, rec *PassRecord) {
+	if rec == nil {
+		for _, b := range fn.Blocks {
+			scheduleBlock(b, res, nil)
+		}
+		return
+	}
+	if rec.Cycles == nil {
+		rec.Cycles = make(map[*prog.Block][]int, len(fn.Blocks))
+	}
+	rec.Scheduled = append(rec.Scheduled, fn)
+	rec.Res = res
+	// One backing array serves every block's cycle record: scheduling only
+	// reorders instructions, so the total is known up front and the buffer
+	// never reallocates under the stored subslices.
+	total := 0
 	for _, b := range fn.Blocks {
-		scheduleBlock(b, res)
+		total += len(b.Insts)
+	}
+	cycbuf := make([]int, 0, total)
+	for _, b := range fn.Blocks {
+		base := len(cycbuf)
+		cycbuf = scheduleBlock(b, res, cycbuf)
+		rec.Cycles[b] = cycbuf[base:len(cycbuf):len(cycbuf)]
 	}
 }
 
@@ -56,11 +85,20 @@ type schedNode struct {
 	latency  int
 }
 
-// scheduleBlock reorders b.Insts by critical-path list scheduling.
-func scheduleBlock(b *prog.Block, res Resources) {
+// scheduleBlock reorders b.Insts by critical-path list scheduling. With
+// a non-nil cycbuf it appends the issue cycle of each instruction in the
+// final order and returns the extended buffer (nil otherwise).
+func scheduleBlock(b *prog.Block, res Resources, cycbuf []int) []int {
+	record := cycbuf != nil
 	n := len(b.Insts)
 	if n < 2 {
-		return
+		if record {
+			for i := 0; i < n; i++ {
+				cycbuf = append(cycbuf, 0) // 0 or 1 instructions issue at cycle 0
+			}
+			return cycbuf
+		}
+		return nil
 	}
 	nodes := make([]schedNode, n)
 	for i := range nodes {
@@ -214,6 +252,9 @@ func scheduleBlock(b *prog.Block, res Resources) {
 		node := ready[pick]
 		ready = append(ready[:pick], ready[pick+1:]...)
 		out = append(out, b.Insts[node])
+		if record {
+			cycbuf = append(cycbuf, cycle)
+		}
 		scheduled++
 		slots++
 		if fu := b.Insts[node].Op.FU(); fu != isa.FUNone {
@@ -231,4 +272,8 @@ func scheduleBlock(b *prog.Block, res Resources) {
 		}
 	}
 	b.Insts = out
+	if !record {
+		return nil
+	}
+	return cycbuf
 }

@@ -25,11 +25,15 @@ import (
 //
 // It returns the number of instructions sunk.
 func SinkColdCode(fn *prog.Func) int {
+	return sinkColdCode(fn, nil)
+}
+
+func sinkColdCode(fn *prog.Func, rec *PassRecord) int {
 	fn.ComputePreds()
 	lv := prog.ComputeLiveness(fn)
 	sunk := 0
 	for _, b := range fn.Blocks {
-		sunk += sinkFromBlock(fn, b, lv)
+		sunk += sinkFromBlock(fn, b, lv, rec)
 	}
 	return sunk
 }
@@ -51,7 +55,7 @@ func pureOp(in prog.Ins) bool {
 	return in.Op.HasRd() && !in.Op.IsControl()
 }
 
-func sinkFromBlock(fn *prog.Func, b *prog.Block, lv *prog.Liveness) int {
+func sinkFromBlock(fn *prog.Func, b *prog.Block, lv *prog.Liveness, rec *PassRecord) int {
 	if b.Kind != prog.TermBranch {
 		return 0
 	}
@@ -127,6 +131,10 @@ func sinkFromBlock(fn *prog.Func, b *prog.Block, lv *prog.Liveness) int {
 		in := b.Insts[idx]
 		b.Insts = append(b.Insts[:idx], b.Insts[idx+1:]...)
 		exit.Insts = append([]prog.Ins{in}, exit.Insts...)
+		if rec != nil {
+			d, _ := in.Defs()
+			rec.Sinks = append(rec.Sinks, SinkRecord{From: b, Exit: exit, Ins: in, Def: d})
+		}
 		sunk++
 	}
 }

@@ -85,6 +85,11 @@ func InstallObserved(cfg Config, p *prog.Program, pkgs []*Package, o obs.Observe
 	if err := p.Verify(); err != nil {
 		return nil, fmt.Errorf("pack: install produced invalid program: %w", err)
 	}
+	if cfg.Verify != nil {
+		if err := cfg.Verify(p, res); err != nil {
+			return nil, fmt.Errorf("pack: install verification: %w", err)
+		}
+	}
 	o.Count("pack.links", int64(res.Links))
 	o.Count("pack.launch_points", int64(res.LaunchPoints))
 	o.Count("pack.monitors", int64(res.Monitors))

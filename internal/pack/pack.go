@@ -34,6 +34,11 @@ type Config struct {
 	// MaxExhaustiveOrder is the largest same-root package group ordered by
 	// exhaustive permutation search; larger groups use a greedy order.
 	MaxExhaustiveOrder int
+	// Verify, when set, runs over the installed program at the end of
+	// InstallObserved (after the built-in structural check); a non-nil
+	// error fails the installation. core wires the static verifier in here
+	// so pack need not import it.
+	Verify func(*prog.Program, *Result) error
 }
 
 // DefaultConfig returns the paper's configuration (linking on).
@@ -101,6 +106,24 @@ type Package struct {
 // inlining context, or nil.
 func (pk *Package) CopyOf(orig *prog.Block, ctx string) *prog.Block {
 	return pk.copies[ctxKey{orig, ctx}]
+}
+
+// EachCopy visits every (original block, context, copy) triple in the
+// package in a deterministic order: original block ID, then context.
+func (pk *Package) EachCopy(f func(orig *prog.Block, ctx string, copy *prog.Block)) {
+	keys := make([]ctxKey, 0, len(pk.copies))
+	for k := range pk.copies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].orig.ID != keys[j].orig.ID {
+			return keys[i].orig.ID < keys[j].orig.ID
+		}
+		return keys[i].ctx < keys[j].ctx
+	})
+	for _, k := range keys {
+		f(k.orig, k.ctx, pk.copies[k])
+	}
 }
 
 // Result is the outcome of building and installing all packages.

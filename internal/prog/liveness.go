@@ -44,16 +44,27 @@ type Liveness struct {
 	Out map[*Block]RegSet
 }
 
+// BlockUseDef computes a block's upward-exposed uses and its defs,
+// including the terminator's compare operands and implicit RRA traffic.
+// The verifier uses it to rebuild liveness independently of the cached
+// per-function results the optimizer consumed.
+func BlockUseDef(b *Block) (use, def RegSet) { return blockUseDef(b) }
+
 // blockUseDef computes the upward-exposed uses and the defs of a block,
 // including the terminator's compare operands and implicit RRA traffic.
 func blockUseDef(b *Block) (use, def RegSet) {
-	var scratch []isa.Reg
+	// Open-coded isa.Inst.Uses/Defs: this runs per instruction under every
+	// liveness computation, and the append-based Uses API costs a scratch
+	// slice the hot path can't afford.
 	for _, in := range b.Insts {
-		scratch = in.Uses(scratch[:0])
-		for _, r := range scratch {
-			if !def.Has(r) {
-				use = use.Add(r)
-			}
+		if in.Op.HasRs1() && in.Rs1 != isa.R0 && !def.Has(in.Rs1) {
+			use = use.Add(in.Rs1)
+		}
+		if in.Op.HasRs2() && in.Rs2 != isa.R0 && !def.Has(in.Rs2) {
+			use = use.Add(in.Rs2)
+		}
+		if in.Op == isa.RET && !def.Has(isa.RRA) {
+			use = use.Add(isa.RRA)
 		}
 		if d, ok := in.Defs(); ok {
 			def = def.Add(d)

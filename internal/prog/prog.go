@@ -132,6 +132,16 @@ func (b *Block) Succs(dst []*Block) []*Block {
 	return dst
 }
 
+// Append appends body instructions to b. Packages outside the IR's
+// owners (internal/prog, internal/opt, internal/pack) must extend
+// instruction lists through this method rather than writing b.Insts
+// directly — cmd/vplint's insts-mutation check enforces the split, which
+// keeps the optimizer's pass certificates (opt.PassRecord) honest about
+// who rewrote what.
+func (b *Block) Append(ins ...Ins) {
+	b.Insts = append(b.Insts, ins...)
+}
+
 // Preds returns the most recently computed predecessor list. Callers that
 // mutate the CFG must call Program.ComputePreds (or Func.ComputePreds)
 // before relying on it.

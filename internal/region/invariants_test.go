@@ -1,4 +1,4 @@
-package region
+package region_test
 
 import (
 	"testing"
@@ -7,6 +7,8 @@ import (
 	"repro/internal/hsd"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
+	"repro/internal/region"
+	"repro/internal/verify"
 	"repro/internal/workload"
 )
 
@@ -28,14 +30,11 @@ func profileDB(t *testing.T, img *prog.Image) *phasedb.DB {
 }
 
 // Properties promised in DESIGN.md §6, checked over every real workload's
-// real phases:
-//
-//   - identification is deterministic,
-//   - every profiled branch block is Hot,
-//   - profiled arcs are never Unknown,
-//   - Cold inference never fires with inference disabled,
-//   - the fixpoint terminated with consistent Hot/Cold assignments
-//     (no block both ways).
+// real phases. The per-region invariants (every profiled branch block is
+// Hot, profiled arcs are never Unknown, Cold inference never fires with
+// inference disabled) are verify.Region's region/* rules — this test is a
+// thin wrapper over the verifier, plus the determinism check the verifier
+// cannot see from a single region.
 func TestRegionInvariantsOverSuite(t *testing.T) {
 	for _, b := range []string{"m88ksim", "perl", "vpr"} {
 		b := b
@@ -54,13 +53,13 @@ func TestRegionInvariantsOverSuite(t *testing.T) {
 			db := profileDB(t, img)
 			for _, ph := range db.Phases {
 				for _, enable := range []bool{true, false} {
-					cfg := DefaultConfig()
+					cfg := region.DefaultConfig()
 					cfg.EnableInference = enable
-					r1, err := Identify(cfg, img, ph)
+					r1, err := region.Identify(cfg, img, ph)
 					if err != nil {
 						continue
 					}
-					r2, err := Identify(cfg, img, ph)
+					r2, err := region.Identify(cfg, img, ph)
 					if err != nil {
 						t.Fatalf("phase %d: second identification failed: %v", ph.ID, err)
 					}
@@ -73,27 +72,11 @@ func TestRegionInvariantsOverSuite(t *testing.T) {
 							t.Fatalf("phase %d: block %v temp differs across runs", ph.ID, blk)
 						}
 					}
-					// Profiled branches are Hot with known arcs.
-					for _, bs := range ph.SortedBranches() {
-						blk := img.BlockAt(bs.PC)
-						if blk == nil || img.TermAddr[blk] != bs.PC {
-							continue
+					// region/profiled-hot, region/profiled-arc, region/no-cold.
+					if err := verify.Region("test", cfg, img, ph, r1); err != nil {
+						for _, d := range verify.Diagnostics(err) {
+							t.Errorf("phase %d: %s", ph.ID, d)
 						}
-						if r1.BlockTemp[blk] != Hot {
-							t.Errorf("phase %d: profiled block %v not Hot", ph.ID, blk)
-						}
-						for _, dir := range []bool{true, false} {
-							if r1.ArcTemp[ArcKey{blk, dir}] == Unknown {
-								t.Errorf("phase %d: profiled arc of %v Unknown", ph.ID, blk)
-							}
-						}
-					}
-					// No Cold inference with inference off: every Cold block
-					// must be... there are none, since only inference makes
-					// blocks Cold.
-					if !enable && r1.InferredCold != 0 {
-						t.Errorf("phase %d: %d blocks inferred Cold with inference off",
-							ph.ID, r1.InferredCold)
 					}
 				}
 			}
@@ -118,21 +101,21 @@ func TestInferenceIsMonotone(t *testing.T) {
 	db := profileDB(t, img)
 	checked := 0
 	for _, ph := range db.Phases {
-		off := DefaultConfig()
+		off := region.DefaultConfig()
 		off.EnableInference = false
 		off.MaxGrowBlocks = 0
-		rOff, err := Identify(off, img, ph)
+		rOff, err := region.Identify(off, img, ph)
 		if err != nil {
 			continue
 		}
-		on := DefaultConfig()
+		on := region.DefaultConfig()
 		on.MaxGrowBlocks = 0
-		rOn, err := Identify(on, img, ph)
+		rOn, err := region.Identify(on, img, ph)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for blk, temp := range rOff.BlockTemp {
-			if temp == Hot && rOn.BlockTemp[blk] != Hot {
+			if temp == region.Hot && rOn.BlockTemp[blk] != region.Hot {
 				t.Errorf("phase %d: block %v Hot without inference but not with it", ph.ID, blk)
 			}
 		}

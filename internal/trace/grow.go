@@ -149,7 +149,7 @@ func deployPath(p *prog.Program, seedBlk *prog.Block, path []pathStep, loops boo
 			} else {
 				contIns = prog.Ins{Inst: isa.Inst{Op: isa.LA, Rd: isa.RRA}, BlockTarget: ob.Next}
 			}
-			cb.Insts = append(cb.Insts, contIns)
+			cb.Append(contIns)
 			cb.Kind = prog.TermFall
 			cb.Callee = nil
 			cb.Next = succCopy(i) // the callee's entry copy

@@ -1,0 +1,367 @@
+package verify
+
+import (
+	"repro/internal/isa"
+	"repro/internal/pack"
+	"repro/internal/prog"
+)
+
+// Packages checks the invariants of an installed package set:
+//
+//	cfg/reach    — every block of a package function is reachable from the
+//	               function entry or a package entry copy
+//	df/exit-live — every register live into an exit's target (computed by
+//	               an interprocedural liveness fixpoint over the installed
+//	               program) is covered by the exit block's dummy-consumer
+//	               set, so pruned cold code never reads a killed value
+//	pkg/origin   — every package block descends from an original block
+//	pkg/copy     — each surviving copy maps back onto exactly the original
+//	               block it was cloned from
+//	pkg/launch   — arcs and calls from original code land only on package
+//	               entry copies (or dynamic launch shims)
+//	pkg/link     — linked exits target the sibling's same-context copy of
+//	               the exit's original destination; unlinked exits return
+//	               to their original target
+//	pkg/growth   — Result.AddedInsts equals the instructions actually
+//	               emitted into package functions
+//
+// Under dynamic launch selection (Result.Monitors > 0 or launcher shims
+// present) df/exit-live and pkg/growth are skipped: indirect-jump shims
+// make every register conservatively live, and monitors/launchers add
+// code after the accounting snapshot by design.
+func Packages(stage string, p *prog.Program, res *pack.Result) error {
+	c := &checker{stage: stage}
+	c.packages(p, res)
+	return c.err()
+}
+
+func (c *checker) packages(p *prog.Program, res *pack.Result) {
+	pkgFns := make(map[*prog.Func]*pack.Package, len(res.Packages))
+	for _, pk := range res.Packages {
+		pkgFns[pk.Fn] = pk
+	}
+	// Layout membership via the program-wide sequential block IDs: a flat
+	// slice lookup instead of a pointer set over every block.
+	maxID := -1
+	hasShims := false
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.ID > maxID {
+				maxID = b.ID
+			}
+		}
+		if f.IsPackage && pkgFns[f] == nil {
+			hasShims = true // dynamic launchers are package fns outside the result set
+		}
+	}
+	ids := make([]*prog.Block, maxID+1)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.ID >= 0 {
+				ids[b.ID] = b
+			}
+		}
+	}
+	inLayout := func(b *prog.Block) bool {
+		return b != nil && b.ID >= 0 && b.ID <= maxID && ids[b.ID] == b
+	}
+
+	// cfg/reach over package functions only: patchLaunchPoints legitimately
+	// strands original blocks whose every arc was retargeted, but a package
+	// block nothing reaches is construction damage.
+	var succs []*prog.Block
+	for _, pk := range res.Packages {
+		fn := pk.Fn
+		inFn := make(map[*prog.Block]bool, len(fn.Blocks))
+		for _, b := range fn.Blocks {
+			inFn[b] = true
+		}
+		seen := make(map[*prog.Block]bool, len(fn.Blocks))
+		var work []*prog.Block
+		push := func(b *prog.Block) {
+			if b != nil && inFn[b] && !seen[b] {
+				seen[b] = true
+				work = append(work, b)
+			}
+		}
+		push(fn.Entry())
+		for _, e := range pk.Entries {
+			push(e)
+		}
+		for len(work) > 0 {
+			b := work[0]
+			work = work[1:]
+			succs = b.Succs(succs[:0])
+			for _, s := range succs {
+				push(s)
+			}
+		}
+		for _, b := range fn.Blocks {
+			if !seen[b] {
+				c.add("cfg/reach", fn, b, "package block unreachable from every entry")
+			}
+		}
+	}
+
+	// pkg/origin and pkg/copy.
+	for _, pk := range res.Packages {
+		for _, b := range pk.Fn.Blocks {
+			if b.Origin == nil {
+				c.add("pkg/origin", pk.Fn, b, "package block has no origin")
+				continue
+			}
+			if root := prog.OriginRoot(b); root.Fn == nil || root.Fn.IsPackage {
+				c.add("pkg/origin", pk.Fn, b, "origin chain ends inside package code (%s)", root)
+			}
+		}
+		pk.EachCopy(func(orig *prog.Block, ctx string, copy *prog.Block) {
+			if !inLayout(copy) {
+				return // fused away by MergeBlocks; nothing references it
+			}
+			if orig.Fn != nil && orig.Fn.IsPackage {
+				c.add("pkg/copy", pk.Fn, copy, "copy of package-code block %s", orig)
+			}
+			if got := prog.OriginRoot(copy); got != orig {
+				c.add("pkg/copy", pk.Fn, copy,
+					"copy (ctx %q) maps to origin %s, want %s", ctx, got, orig)
+			}
+		})
+	}
+
+	// pkg/launch: the only ways from original code into package code are
+	// entry copies and dynamic launch shim entries.
+	validEntry := make(map[*prog.Block]bool)
+	for _, pk := range res.Packages {
+		for _, e := range pk.Entries {
+			validEntry[e] = true
+		}
+	}
+	for _, f := range p.Funcs {
+		if f.IsPackage && pkgFns[f] == nil {
+			validEntry[f.Entry()] = true // launcher shim head
+		}
+	}
+	checkLaunch := func(from, to *prog.Block, what string) {
+		if to == nil || to.Fn == nil || !to.Fn.IsPackage {
+			return
+		}
+		if !validEntry[to] {
+			c.add("pkg/launch", nil, from,
+				"%s arc enters package %q at non-entry block %s", what, to.Fn.Name, to)
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if !f.IsPackage {
+				if b.Kind == prog.TermBranch {
+					checkLaunch(b, b.Taken, "taken")
+				}
+				if b.Kind == prog.TermFall || b.Kind == prog.TermBranch || b.Kind == prog.TermCall {
+					checkLaunch(b, b.Next, "fallthrough")
+				}
+			}
+			if b.Kind == prog.TermCall && b.Callee != nil && b.Callee.IsPackage {
+				if e := b.Callee.Entry(); !validEntry[e] {
+					c.add("pkg/launch", f, b,
+						"call enters package %q off its entry copy", b.Callee.Name)
+				}
+			}
+		}
+	}
+
+	// pkg/link.
+	for _, pk := range res.Packages {
+		for _, e := range pk.Exits {
+			if !inLayout(e.Block) {
+				continue // exit fused into its predecessor; its record moved with it
+			}
+			if e.Block.Kind != prog.TermFall {
+				c.add("pkg/link", pk.Fn, e.Block, "exit block is not an unconditional transfer")
+				continue
+			}
+			if e.Linked != nil {
+				want := e.Linked.CopyOf(e.Target, e.Ctx)
+				if want == nil {
+					c.add("pkg/link", pk.Fn, e.Block,
+						"linked into %q which holds no copy of %s under ctx %q",
+						e.Linked.Fn.Name, e.Target, e.Ctx)
+				} else if e.Block.Next != want {
+					c.add("pkg/link", pk.Fn, e.Block,
+						"linked exit targets %s, want same-context copy %s", e.Block.Next, want)
+				}
+			} else if e.Block.Next != e.Target {
+				c.add("pkg/link", pk.Fn, e.Block,
+					"unlinked exit targets %s, want original block %s", e.Block.Next, e.Target)
+			}
+		}
+	}
+
+	if hasShims || res.Monitors > 0 {
+		return
+	}
+
+	// pkg/growth: the accounting snapshot must match what the package
+	// functions actually hold. Every later pass moves or fuses
+	// instructions without creating any (fall terminators are free), so
+	// this holds post-optimization too.
+	added := 0
+	for _, pk := range res.Packages {
+		added += pk.Fn.NumInsts()
+	}
+	if added != res.AddedInsts {
+		c.add("pkg/growth", nil, nil,
+			"Result.AddedInsts = %d but package functions hold %d instructions",
+			res.AddedInsts, added)
+	}
+
+	// df/exit-live: recompute liveness from scratch — interprocedurally,
+	// so patched launch arcs and linked exits resolve to their real
+	// targets — and require every register live into an exit target to
+	// appear in the exit's dummy-consumer set.
+	live := globalLiveIn(p)
+	for _, pk := range res.Packages {
+		for _, b := range pk.Fn.Blocks {
+			if b.Kind != prog.TermFall || b.Next == nil || b.Next.Fn == pk.Fn {
+				continue
+			}
+			var consumes prog.RegSet
+			for _, r := range b.ExitConsumes {
+				consumes = consumes.Add(r)
+			}
+			for _, r := range live(b.Next).Regs() {
+				if !consumes.Has(r) {
+					c.add("df/exit-live", pk.Fn, b,
+						"r%d live into exit target %s but not in the dummy-consumer set", r, b.Next)
+				}
+			}
+		}
+	}
+}
+
+// globalLiveIn runs backward liveness over the whole program at once,
+// resolving cross-function arcs (package exits, launch points, links) to
+// the actual target's live-in instead of prog.ComputeLiveness's
+// dummy-consumer approximation. Calls and returns keep the conservative
+// per-function treatment, so the least fixpoint here never exceeds the
+// per-function result the builder consulted — a covered exit stays
+// covered, and a dropped consumer is a genuine violation.
+func globalLiveIn(p *prog.Program) func(*prog.Block) prog.RegSet {
+	var allRegs prog.RegSet
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		allRegs = allRegs.Add(r)
+	}
+	// Index the program once so the fixpoint runs on flat slices: a
+	// worklist over block indices converges in a few touches per block
+	// where the round-robin sweep re-scanned everything per iteration.
+	// The block-ID index (sequential, program-wide) stands in for a
+	// pointer map; idToIdx holds 1+position so zero means absent.
+	maxID := -1
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Blocks)
+		for _, b := range f.Blocks {
+			if b.ID > maxID {
+				maxID = b.ID
+			}
+		}
+	}
+	blocks := make([]*prog.Block, 0, n)
+	idToIdx := make([]int32, maxID+1)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.ID >= 0 {
+				idToIdx[b.ID] = int32(len(blocks)) + 1
+			}
+			blocks = append(blocks, b)
+		}
+	}
+	lookup := func(b *prog.Block) int {
+		if b == nil || b.ID < 0 || b.ID > maxID {
+			return -1
+		}
+		j := int(idToIdx[b.ID]) - 1
+		if j < 0 || blocks[j] != b {
+			return -1
+		}
+		return j
+	}
+	use := make([]prog.RegSet, n)
+	def := make([]prog.RegSet, n)
+	in := make([]prog.RegSet, n)
+	// Predecessor lists in compressed form — a counting pass sizes one
+	// flat backing array, so building them costs three allocations total
+	// instead of an append-grown slice per block.
+	predOff := make([]int32, n+1)
+	var succs []*prog.Block
+	for i, b := range blocks {
+		u, d := prog.BlockUseDef(b)
+		if b.Kind == prog.TermCall {
+			u = allRegs.Remove(isa.RRA) // callee may read anything
+		}
+		use[i], def[i] = u, d
+		succs = b.Succs(succs[:0])
+		for _, s := range succs {
+			if j := lookup(s); j >= 0 {
+				predOff[j+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		predOff[i+1] += predOff[i]
+	}
+	predData := make([]int32, predOff[n])
+	cursor := make([]int32, n)
+	copy(cursor, predOff[:n])
+	for i, b := range blocks {
+		succs = b.Succs(succs[:0])
+		for _, s := range succs {
+			if j := lookup(s); j >= 0 {
+				predData[cursor[j]] = int32(i)
+				cursor[j]++
+			}
+		}
+	}
+	work := make([]int32, 0, n)
+	queued := make([]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		work = append(work, int32(i))
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[i] = false
+		b := blocks[i]
+		var out prog.RegSet
+		switch b.Kind {
+		case prog.TermRet, prog.TermJumpReg:
+			out = allRegs // destination unknown: anything may be read
+		case prog.TermHalt:
+		default:
+			succs = b.Succs(succs[:0])
+			for _, s := range succs {
+				if j := lookup(s); j >= 0 {
+					out = out.Union(in[j])
+				}
+			}
+		}
+		liveIn := use[i].Union(out &^ def[i])
+		if liveIn == in[i] {
+			continue
+		}
+		in[i] = liveIn
+		for _, pi := range predData[predOff[i]:predOff[i+1]] {
+			if !queued[pi] {
+				queued[pi] = true
+				work = append(work, pi)
+			}
+		}
+	}
+	return func(b *prog.Block) prog.RegSet {
+		if j := lookup(b); j >= 0 {
+			return in[j]
+		}
+		var none prog.RegSet
+		return none
+	}
+}

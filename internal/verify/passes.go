@@ -1,0 +1,332 @@
+package verify
+
+import (
+	"repro/internal/isa"
+	"repro/internal/opt"
+	"repro/internal/prog"
+)
+
+// Passes re-checks the transformation certificates the optimization
+// passes recorded:
+//
+//	df/merge — a fused block really left the program: it is out of the
+//	           layout and no arc or LA instruction still references it,
+//	           while the surviving block remains
+//	df/sink  — a sunk instruction really was safe to move: it sits in the
+//	           exit block, the exit still has the source block as its only
+//	           predecessor, the moved def is dead along every other
+//	           successor (against freshly computed liveness) and unused by
+//	           the source block's terminator
+func Passes(stage string, p *prog.Program, rec *opt.PassRecord) error {
+	c := &checker{stage: stage}
+	c.passes(p, rec)
+	return c.err()
+}
+
+func (c *checker) passes(p *prog.Program, rec *opt.PassRecord) {
+	if rec == nil || (len(rec.Merges) == 0 && len(rec.Sinks) == 0) {
+		return
+	}
+	// The certificate sets are tiny compared to the program, so instead of
+	// materializing blockSet/referenced/preds maps over every block, sweep
+	// the program once checking each arc against the fused blocks and sink
+	// exits we actually care about. Membership of individual certificate
+	// endpoints is resolved per function on demand.
+	fused := make(map[*prog.Block]bool, len(rec.Merges))
+	for _, m := range rec.Merges {
+		fused[m.Fused] = true
+	}
+	type predInfo struct {
+		n     int
+		first *prog.Block
+	}
+	exits := make(map[*prog.Block]*predInfo, len(rec.Sinks))
+	for _, s := range rec.Sinks {
+		exits[s.Exit] = &predInfo{}
+	}
+	fusedRef := make(map[*prog.Block]bool)
+	var succs []*prog.Block
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			succs = b.Succs(succs[:0])
+			for _, s := range succs {
+				if fused[s] {
+					fusedRef[s] = true
+				}
+				if pi := exits[s]; pi != nil {
+					pi.n++
+					if pi.first == nil {
+						pi.first = b
+					}
+				}
+			}
+			for _, in := range b.Insts {
+				if in.BlockTarget != nil && fused[in.BlockTarget] {
+					fusedRef[in.BlockTarget] = true
+				}
+			}
+		}
+	}
+	inFn := make(map[*prog.Func]map[*prog.Block]bool)
+	inProgram := func(b *prog.Block) bool {
+		if b == nil || b.Fn == nil {
+			return false
+		}
+		m := inFn[b.Fn]
+		if m == nil {
+			m = make(map[*prog.Block]bool, len(b.Fn.Blocks))
+			for _, fb := range b.Fn.Blocks {
+				m[fb] = true
+			}
+			inFn[b.Fn] = m
+		}
+		return m[b]
+	}
+
+	for _, m := range rec.Merges {
+		if !inProgram(m.Into) {
+			c.add("df/merge", nil, m.Into, "merge survivor is no longer in the program")
+		}
+		if inProgram(m.Fused) {
+			c.add("df/merge", nil, m.Fused, "fused block is still in the layout")
+		}
+		if fusedRef[m.Fused] {
+			c.add("df/merge", nil, m.Fused, "fused block is still referenced by an arc or LA")
+		}
+	}
+
+	liveness := make(map[*prog.Func]*prog.Liveness)
+	for _, s := range rec.Sinks {
+		fn := s.From.Fn
+		if !inProgram(s.From) || !inProgram(s.Exit) || s.Exit.Fn != fn {
+			c.add("df/sink", fn, s.From, "sink endpoints left the program")
+			continue
+		}
+		if pi := exits[s.Exit]; pi.n != 1 || pi.first != s.From {
+			c.add("df/sink", fn, s.Exit, "exit block no longer has the source as sole predecessor")
+		}
+		found := false
+		for _, in := range s.Exit.Insts {
+			if in == s.Ins {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.add("df/sink", fn, s.Exit, "sunk instruction (op %v, def r%d) missing from exit block",
+				s.Ins.Op, s.Def)
+		}
+		if s.Def != isa.R0 &&
+			((s.From.Kind == prog.TermBranch && (s.From.Rs1 == s.Def || s.From.Rs2 == s.Def)) ||
+				(s.From.Kind == prog.TermJumpReg && s.From.Rs1 == s.Def)) {
+			c.add("df/sink", fn, s.From, "sunk def r%d is read by the source terminator", s.Def)
+		}
+		lv := liveness[fn]
+		if lv == nil {
+			lv = prog.ComputeLiveness(fn)
+			liveness[fn] = lv
+		}
+		succs = s.From.Succs(succs[:0])
+		for _, nb := range succs {
+			if nb == s.Exit || nb.Fn != fn {
+				continue
+			}
+			if lv.In[nb].Has(s.Def) {
+				c.add("df/sink", fn, s.From,
+					"sunk def r%d is live into non-exit successor %s", s.Def, nb)
+			}
+		}
+	}
+}
+
+// Schedule checks the recorded issue schedules for legality:
+//
+//	sched/record — every block of every scheduled function has a recorded
+//	               cycle per instruction, non-decreasing in layout order
+//	sched/width  — no cycle issues more instructions than the machine's
+//	               width or any functional unit's capacity
+//	sched/dep    — dependent instructions (register RAW/WAR/WAW and
+//	               conservatively aliasing memory accesses, rebuilt
+//	               independently over the final order) issue in order,
+//	               with consumers waiting out the producer's latency
+func Schedule(stage string, rec *opt.PassRecord) error {
+	c := &checker{stage: stage}
+	c.schedule(rec)
+	return c.err()
+}
+
+// nFUClasses counts the functional-unit classes the width check tracks.
+const nFUClasses = int(isa.FUBranch) + 1
+
+// schedScratch holds the per-block working buffers of the schedule
+// checks, reused across blocks so a full sweep costs a handful of
+// allocations instead of dozens per block.
+type schedScratch struct {
+	usage         [][1 + nFUClasses]int16
+	lastUses      [isa.NumRegs][]int32
+	stores, loads []memRef
+}
+
+type memRef struct {
+	idx     int
+	base    isa.Reg
+	baseIdx int // lastDef of base at access time (-1 = block entry)
+	off     int64
+}
+
+func (c *checker) schedule(rec *opt.PassRecord) {
+	if rec == nil {
+		return
+	}
+	var sc schedScratch
+	seen := make(map[*prog.Func]bool)
+	for _, fn := range rec.Scheduled {
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		for _, b := range fn.Blocks {
+			cycles, ok := rec.Cycles[b]
+			if !ok {
+				c.add("sched/record", fn, b, "scheduled block has no recorded cycles")
+				continue
+			}
+			if len(cycles) != len(b.Insts) {
+				c.add("sched/record", fn, b, "recorded %d cycles for %d instructions",
+					len(cycles), len(b.Insts))
+				continue
+			}
+			for i := 1; i < len(cycles); i++ {
+				if cycles[i] < cycles[i-1] {
+					c.add("sched/record", fn, b, "recorded cycles not in issue order at inst %d", i)
+				}
+			}
+			c.checkWidth(fn, b, cycles, rec.Res, &sc)
+			c.checkDeps(fn, b, cycles, &sc)
+		}
+	}
+}
+
+func (c *checker) checkWidth(fn *prog.Func, b *prog.Block, cycles []int, res opt.Resources, sc *schedScratch) {
+	// usage[cyc] holds per-cycle totals: index 0 all instructions, then
+	// one slot per FU class. Cycles are dense and small (list scheduling
+	// never skips far ahead), so a slice beats a map comfortably.
+	const nFU = nFUClasses
+	maxCycle := 0
+	for _, cyc := range cycles {
+		if cyc < 0 || cyc > 64*len(cycles)+1024 {
+			c.add("sched/record", fn, b, "recorded cycle %d is outside any feasible schedule", cyc)
+			return
+		}
+		if cyc > maxCycle {
+			maxCycle = cyc
+		}
+	}
+	if maxCycle+1 > cap(sc.usage) {
+		sc.usage = make([][1 + nFU]int16, maxCycle+1)
+	} else {
+		sc.usage = sc.usage[:maxCycle+1]
+		clear(sc.usage)
+	}
+	usage := sc.usage
+	for i, in := range b.Insts {
+		u := &usage[cycles[i]]
+		u[0]++
+		if fu := in.Op.FU(); fu != isa.FUNone {
+			u[1+int(fu)]++
+		}
+	}
+	for cyc := range usage {
+		u := &usage[cyc]
+		if int(u[0]) > res.IssueWidth {
+			c.add("sched/width", fn, b, "cycle %d issues %d instructions, width is %d",
+				cyc, u[0], res.IssueWidth)
+		}
+		for fu := 1; fu < 1+nFU; fu++ {
+			if n := int(u[fu]); n > res.Limit(isa.FUClass(fu-1)) {
+				c.add("sched/width", fn, b, "cycle %d issues %d ops on FU class %d, limit is %d",
+					cyc, n, fu-1, res.Limit(isa.FUClass(fu-1)))
+			}
+		}
+	}
+}
+
+// checkDeps rebuilds the block's dependence edges over its final order —
+// the same register and static memory-disambiguation rules the scheduler
+// used — and checks the recorded cycles against them. True dependences
+// (RAW) must wait out the producer's latency; anti, output and memory
+// ordering edges only need issue order.
+func (c *checker) checkDeps(fn *prog.Func, b *prog.Block, cycles []int, sc *schedScratch) {
+	var lastDef [isa.NumRegs]int32 // 1+index of the defining inst; 0 = none
+	lastUses := &sc.lastUses
+	for i := range lastUses {
+		lastUses[i] = lastUses[i][:0]
+	}
+	baseAt := func(r isa.Reg) int {
+		return int(lastDef[r]) - 1
+	}
+	mayAlias := func(a, bm memRef) bool {
+		if a.base != bm.base || a.baseIdx != bm.baseIdx {
+			return true
+		}
+		return a.off == bm.off
+	}
+	ordered := func(from, to int, rule string) {
+		if cycles[to] < cycles[from] {
+			c.add("sched/dep", fn, b, "inst %d (%s dependence on inst %d) issues at cycle %d before %d",
+				to, rule, from, cycles[to], cycles[from])
+		}
+	}
+	stores, loads := sc.stores[:0], sc.loads[:0]
+	var usesBuf [4]isa.Reg
+	uses := usesBuf[:0]
+	for i, in := range b.Insts {
+		uses = in.Uses(uses[:0])
+		for _, r := range uses {
+			if d := int(lastDef[r]) - 1; d >= 0 && d != i {
+				if want := cycles[d] + b.Insts[d].Op.Latency(); cycles[i] < want {
+					c.add("sched/dep", fn, b,
+						"inst %d reads r%d at cycle %d; producer inst %d finishes at cycle %d",
+						i, r, cycles[i], d, want)
+				}
+			}
+			lastUses[r] = append(lastUses[r], int32(i))
+		}
+		switch in.Op {
+		case isa.ST, isa.FST:
+			ref := memRef{idx: i, base: in.Rs1, baseIdx: baseAt(in.Rs1), off: in.Imm}
+			for _, s := range stores {
+				if mayAlias(ref, s) {
+					ordered(s.idx, i, "store-store")
+				}
+			}
+			for _, l := range loads {
+				if mayAlias(ref, l) {
+					ordered(l.idx, i, "load-store")
+				}
+			}
+			stores = append(stores, ref)
+		case isa.LD, isa.FLD:
+			ref := memRef{idx: i, base: in.Rs1, baseIdx: baseAt(in.Rs1), off: in.Imm}
+			for _, s := range stores {
+				if mayAlias(ref, s) {
+					ordered(s.idx, i, "store-load")
+				}
+			}
+			loads = append(loads, ref)
+		}
+		if d, ok := in.Defs(); ok {
+			if prev := int(lastDef[d]) - 1; prev >= 0 && prev != i {
+				ordered(prev, i, "output")
+			}
+			for _, u := range lastUses[d] {
+				if int(u) != i {
+					ordered(int(u), i, "anti")
+				}
+			}
+			lastDef[d] = int32(i + 1)
+			lastUses[d] = lastUses[d][:0]
+		}
+	}
+	sc.stores, sc.loads = stores, loads // keep grown capacity for the next block
+}

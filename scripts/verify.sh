@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, vet, full test suite, race-detector passes
-# over the parallel evaluation engine's worker pool and the observability
-# + telemetry-serving layers it reports through, and the trace regression
+# Tier-1 verification: build, vet (including the repo's own vplint checks),
+# full test suite, race-detector passes over the parallel evaluation
+# engine's worker pool and the observability + telemetry-serving layers it
+# reports through, a verifier-gated suite pass, and the trace regression
 # gate (a fresh pipeline trace diffed against the committed golden).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,6 +11,12 @@ go build ./...
 go vet ./...
 go vet ./internal/obs/...
 go vet ./internal/telemetry/...
+
+# Repository-specific static checks (insts-mutation, dropped-observer)
+# via the vet unitchecker protocol; vplint needs an absolute path.
+mkdir -p bin
+go build -o bin/vplint ./cmd/vplint
+go vet -vettool="$(pwd)/bin/vplint" ./...
 go test ./...
 go test -race ./internal/report/...
 go test -race ./internal/obs/...
@@ -19,6 +26,12 @@ go test -race ./internal/telemetry/...
 # full-suite equivalence table runs in the plain `go test ./...` above;
 # racing it too would double wall time for no extra coverage.
 go test -race -run 'TestBlockCache' ./internal/cpu/
+
+# Verifier-gated pipeline pass: every stage's output re-checked against
+# the internal/verify rule catalog on a real multi-benchmark run. Any
+# rule firing exits 3 and fails verification here.
+go run ./cmd/vpverify -q -bench gzip -input A -scale 1
+go run ./cmd/vpverify -q -bench perl -input A -scale 1
 
 # Trace regression gate: the golden is Normalize()d (wall times zeroed),
 # so this diff bites exactly on the deterministic pipeline counters —

@@ -97,6 +97,9 @@ var (
 	ErrNoPhases = core.ErrNoPhases
 	// ErrNoPackages: package construction failed for every region.
 	ErrNoPackages = core.ErrNoPackages
+	// ErrVerifyFailed: the static verifier (Config.Verify) rejected a
+	// pipeline stage's output; the chain carries the rule diagnostics.
+	ErrVerifyFailed = core.ErrVerifyFailed
 )
 
 // Observability. The pipeline reports stage-scoped spans, a typed event

@@ -73,6 +73,8 @@ func main() {
 		logMode   = flag.String("log", "text", "structured log mode for diagnostics: "+telemetry.LogModes)
 		tracePath = flag.String("trace", "", "write a JSON span/event/metric trace of the run to `file`")
 		blockc    = flag.String("blockcache", "on", "basic-block simulation cache for timed runs: on|off")
+		superb    = flag.String("superblock", "on", "superblock (tier-1) trace chaining in the block cache: on|off")
+		sbthresh  = flag.Int("sbthreshold", 0, "block executions before superblock promotion (0 = default)")
 	)
 	flag.Parse()
 
@@ -84,6 +86,17 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "vpack: -blockcache must be on or off")
 		os.Exit(2)
+	}
+	switch *superb {
+	case "on":
+	case "off":
+		mc.DisableSuperblocks = true
+	default:
+		fmt.Fprintln(os.Stderr, "vpack: -superblock must be on or off")
+		os.Exit(2)
+	}
+	if *sbthresh > 0 {
+		mc.SuperblockThreshold = *sbthresh
 	}
 
 	var o obs.Observer = obs.Nop{}

@@ -11,6 +11,8 @@
 //	vpbench -j 4            # run 4 inputs concurrently (default GOMAXPROCS)
 //	vpbench -reps 3         # run the suite 3 times, report the best rep
 //	vpbench -blockcache off # legacy instruction-at-a-time timed simulation
+//	vpbench -superblock off # tier-0 only: block cache without trace chaining
+//	vpbench -sbthreshold 64 # override the tier-1 promotion threshold
 //	vpbench -benchjson f    # write machine-readable timing JSON to f
 //	vpbench -cpuprofile f   # write a pprof CPU profile of the run to f
 //	vpbench -metrics        # per-stage wall-time, counter and histogram tables
@@ -61,12 +63,21 @@ type benchJSON struct {
 	// VerifyWallSeconds is the wall time of the extra verify-on suite run
 	// -verifyoverhead performs; VerifyOverheadFraction relates it to the
 	// main run (0.03 = 3% slower with the static verifier gating every
-	// stage).
-	VerifyWallSeconds      float64 `json:"verify_wall_seconds,omitempty"`
-	VerifyOverheadFraction float64 `json:"verify_overhead_fraction,omitempty"`
+	// stage). The fraction floors at 0 — the verifier cannot speed the
+	// suite up, so a negative sample is scheduler noise — and is a
+	// pointer so a measured zero still appears in the JSON.
+	VerifyWallSeconds      float64  `json:"verify_wall_seconds,omitempty"`
+	VerifyOverheadFraction *float64 `json:"verify_overhead_fraction,omitempty"`
 	// BlockCacheHitRate aggregates the timed runs' basic-block cache
 	// traffic across all variants (absent when -blockcache=off).
 	BlockCacheHitRate float64 `json:"blockcache_hit_rate,omitempty"`
+	// SuperblockCoverage is the fraction of timed-run instructions retired
+	// inside tier-1 superblock traces; SuperblockPromoted/Demoted/SideExits
+	// aggregate the tier's promotion churn (absent when -superblock=off).
+	SuperblockCoverage  float64 `json:"superblock_coverage,omitempty"`
+	SuperblockPromoted  uint64  `json:"superblock_promoted,omitempty"`
+	SuperblockDemoted   uint64  `json:"superblock_demoted,omitempty"`
+	SuperblockSideExits uint64  `json:"superblock_side_exits,omitempty"`
 
 	Inputs []benchInput `json:"inputs"`
 }
@@ -87,6 +98,8 @@ func main() {
 		jobs       = flag.Int("j", 0, "concurrent benchmark inputs (0 = GOMAXPROCS, 1 = sequential)")
 		reps       = flag.Int("reps", 1, "run the suite N times and report the best (fastest) rep")
 		blockcache = flag.String("blockcache", "on", "basic-block simulation cache for timed runs: on|off")
+		superblock = flag.String("superblock", "on", "superblock (tier-1) trace chaining in the block cache: on|off")
+		sbthresh   = flag.Int("sbthreshold", 0, "block executions before superblock promotion (0 = default)")
 		quiet      = flag.Bool("q", false, "suppress progress records (same as -log off)")
 		logMode    = flag.String("log", "text", "structured log mode: "+telemetry.LogModes)
 		serve      = flag.String("serve", "", "serve /metrics, /trace, /healthz, /readyz and /debug/pprof on `addr` during the run")
@@ -133,6 +146,17 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "vpbench: -blockcache must be on or off")
 		os.Exit(2)
+	}
+	switch *superblock {
+	case "on":
+	case "off":
+		opts.Machine.DisableSuperblocks = true
+	default:
+		fmt.Fprintln(os.Stderr, "vpbench: -superblock must be on or off")
+		os.Exit(2)
+	}
+	if *sbthresh > 0 {
+		opts.Machine.SuperblockThreshold = *sbthresh
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
@@ -422,13 +446,14 @@ func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, ver
 	if verifyWall > 0 {
 		rec.VerifyWallSeconds = verifyWall
 		if wall > 0 {
-			rec.VerifyOverheadFraction = verifyWall/wall - 1
+			f := max(verifyWall/wall-1, 0)
+			rec.VerifyOverheadFraction = &f
 		}
 	}
 	if wall > 0 {
 		rec.InstsPerSecond = float64(rec.TotalInsts) / wall
 	}
-	var bcHits, bcMisses uint64
+	var bcHits, bcMisses, sbInsts, timedInsts uint64
 	for i := range suite.Results {
 		r := &suite.Results[i]
 		rec.Inputs = append(rec.Inputs, benchInput{
@@ -438,12 +463,21 @@ func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, ver
 			Seconds: r.Elapsed.Seconds(),
 		})
 		for j := range r.Variants {
-			bcHits += r.Variants[j].BlockCacheHits
-			bcMisses += r.Variants[j].BlockCacheMisses
+			v := &r.Variants[j]
+			bcHits += v.BlockCacheHits
+			bcMisses += v.BlockCacheMisses
+			sbInsts += v.SuperblockInsts
+			timedInsts += v.TimedInsts
+			rec.SuperblockPromoted += v.SuperblocksPromoted
+			rec.SuperblockDemoted += v.SuperblocksDemoted
+			rec.SuperblockSideExits += v.SuperblockSideExits
 		}
 	}
 	if bcHits+bcMisses > 0 {
 		rec.BlockCacheHitRate = float64(bcHits) / float64(bcHits+bcMisses)
+	}
+	if timedInsts > 0 {
+		rec.SuperblockCoverage = float64(sbInsts) / float64(timedInsts)
 	}
 	traj := trajectory{Schema: "bench-trajectory/v1", Latest: rec}
 	if old, err := os.ReadFile(path); err == nil {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/region"
@@ -67,6 +68,17 @@ func logStageStats(t *obs.Trace) {
 		}
 	}
 	logger.Info("stages", attrs...)
+	// Execution-engine counters (block cache + superblock tier) from the
+	// timed evaluation runs, when the run recorded any.
+	engine := make([]any, 0, 2*7)
+	for _, name := range obs.EngineCounters() {
+		if v, ok := t.Metrics.Counters[name]; ok {
+			engine = append(engine, name, v)
+		}
+	}
+	if len(engine) > 0 {
+		logger.Info("engine", engine...)
+	}
 	for _, e := range t.Events {
 		if e.Kind == obs.PhaseSkipped.String() {
 			logger.Warn("phase skipped", "phase", e.Phase, "reason", e.Name)
@@ -128,6 +140,13 @@ func main() {
 			logProfileStats(core.ProfileStats{
 				Insts: out.ProfileInsts, Branches: out.ProfileBranches, Detections: out.Detections,
 			}, len(out.DB.Phases))
+			// A timed evaluation run feeds the evaluate span and the
+			// block-cache/superblock engine counters into the stage view.
+			if err == nil {
+				if _, everr := out.EvaluateObserved(cpu.DefaultConfig(), 0, rec); everr != nil {
+					logger.Warn("evaluation failed", "err", everr)
+				}
+			}
 			logStageStats(rec.Export())
 			if out.SkippedPhases > 0 {
 				logger.Warn("phases skipped", "count", out.SkippedPhases)

@@ -500,7 +500,11 @@ func (o *Outcome) EvaluateObserved(mc cpu.Config, limit uint64, ob obs.Observer)
 	if err != nil {
 		return nil, fmt.Errorf("core: base run: %w", err)
 	}
-	packedStats, packedM, err := cpu.RunTimed(mc, packedImg, limit)
+	var bc *cpu.BlockCache
+	if !mc.DisableBlockCache && limit == 0 {
+		bc = cpu.NewBlockCache(packedImg)
+	}
+	packedStats, packedM, err := cpu.RunTimedCached(mc, packedImg, limit, bc)
 	if err != nil {
 		return nil, fmt.Errorf("core: packed run: %w", err)
 	}
@@ -517,6 +521,15 @@ func (o *Outcome) EvaluateObserved(mc cpu.Config, limit uint64, ob obs.Observer)
 	}
 	ob.Count("eval.base_cycles", int64(baseStats.Cycles))
 	ob.Count("eval.packed_cycles", int64(packedStats.Cycles))
+	if bc != nil {
+		ob.Count(obs.BlockCacheHitsCounter, int64(bc.Stats.Hits+bc.Stats.Chained))
+		ob.Count(obs.BlockCacheMissesCounter, int64(bc.Stats.Misses))
+		ob.Count(obs.BlockCacheEvictionsCounter, int64(bc.Stats.Evicted))
+		ob.Count(obs.SuperblockPromotedCounter, int64(bc.SB.Promoted))
+		ob.Count(obs.SuperblockDemotedCounter, int64(bc.SB.Demoted))
+		ob.Count(obs.SuperblockSideExitsCounter, int64(bc.SB.SideExits))
+		ob.Count(obs.SuperblockChainedCounter, int64(bc.SB.ChainedInsts))
+	}
 	ob.Gauge("eval.speedup", ev.Speedup)
 	ob.Gauge("eval.coverage", ev.Coverage)
 	ob.Observe("eval.cycles", float64(packedStats.Cycles))

@@ -62,6 +62,17 @@ type block struct {
 	// Chained successors, resolved lazily on first dispatch.
 	fall  *block
 	taken *block
+
+	// Tier-1 promotion state. count rises on each tier-0 dispatch until
+	// it reaches the promotion threshold; fallSeen/takenSeen record the
+	// observed successor bias that steers superblock stitching. sb is the
+	// promoted trace headed by this block; noSB pins the block to tier 0
+	// (specialization bailed, or the trace was demoted for side-exiting).
+	count     uint32
+	fallSeen  uint32
+	takenSeen uint32
+	noSB      bool
+	sb        *superblock
 }
 
 // BlockCacheStats counts cache traffic. A dispatch is served either by a
@@ -90,6 +101,7 @@ type BlockCache struct {
 	img    *prog.Image
 	blocks []*block
 	Stats  BlockCacheStats
+	SB     SuperblockStats
 }
 
 // NewBlockCache returns an empty cache bound to img.
@@ -203,18 +215,44 @@ func (c *BlockCache) decode(entry int64) *block {
 	return b
 }
 
-// runBlocks is the block-dispatch loop: execute a block, then chase the
-// chained successor when the next PC matches the block's fall-through or
-// taken target, falling back to a table lookup otherwise.
+// runBlocks is the two-tier block-dispatch loop. Tier 0 executes one
+// decoded block at a time through execBlock, chasing chained successor
+// pointers when the next PC matches the block's fall-through or taken
+// target and falling back to a table lookup otherwise. Blocks dispatched
+// often enough are promoted into superblock traces (tier 1, see
+// superblock.go) and thereafter run through the specialized trace
+// executor, which returns control here at the trace's exit block. Both
+// tiers classify dispatches identically into BlockCacheStats.
 func (t *Timing) runBlocks(m *Machine, bc *BlockCache) error {
 	n := int64(len(m.Img.Code))
 	pc := m.PC
 	if uint64(pc) >= uint64(n) {
 		return fmt.Errorf("cpu: PC %d outside code image (len %d)", pc, n)
 	}
+	sbOn := !t.cfg.DisableSuperblocks
+	thresh := uint32(DefaultSuperblockThreshold)
+	if t.cfg.SuperblockThreshold > 0 {
+		thresh = uint32(t.cfg.SuperblockThreshold)
+	}
 	b := bc.lookup(pc)
 	for {
-		next, err := t.execBlock(m, b)
+		var next int64
+		var err error
+		if sbOn && b.sb != nil {
+			next, b, err = t.execSuper(m, bc, b.sb)
+		} else {
+			if sbOn && !b.noSB && b.count < thresh {
+				b.count++
+				if b.count == thresh {
+					if sb := bc.promote(b); sb != nil {
+						next, b, err = t.execSuper(m, bc, sb)
+						goto dispatched
+					}
+				}
+			}
+			next, err = t.execBlock(m, b)
+		}
+	dispatched:
 		if err != nil {
 			return err
 		}
@@ -223,6 +261,7 @@ func (t *Timing) runBlocks(m *Machine, bc *BlockCache) error {
 		}
 		switch next {
 		case b.fallPC:
+			b.fallSeen++
 			if nb := b.fall; nb != nil {
 				bc.Stats.Chained++
 				b = nb
@@ -234,6 +273,7 @@ func (t *Timing) runBlocks(m *Machine, bc *BlockCache) error {
 			b.fall = bc.lookup(next)
 			b = b.fall
 		case b.takenPC:
+			b.takenSeen++
 			if nb := b.taken; nb != nil {
 				bc.Stats.Chained++
 				b = nb
@@ -284,16 +324,7 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 	// back into the line fetch is already on), so compare lines here; the
 	// per-slot slotNewLine marks cover the rest of the run.
 	if line := entry >> 3; line != t.lastLine {
-		t.lastLine = line
-		if !t.l1i.Access(entry * 8) {
-			extra := t.cfg.L2Latency
-			if !t.l2.Access(entry * 8) {
-				extra += t.cfg.MemLatency
-			}
-			if c := t.cycle + uint64(extra); t.fetchReady < c {
-				t.fetchReady = c
-			}
-		}
+		t.lineFetch(entry)
 	}
 
 	for j := 0; j < straight; j++ {
@@ -302,16 +333,7 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 		pc := entry + int64(j)
 
 		if si.flags&slotNewLine != 0 {
-			t.lastLine = pc >> 3
-			if !t.l1i.Access(pc * 8) {
-				extra := t.cfg.L2Latency
-				if !t.l2.Access(pc * 8) {
-					extra += t.cfg.MemLatency
-				}
-				if c := t.cycle + uint64(extra); t.fetchReady < c {
-					t.fetchReady = c
-				}
-			}
+			t.lineFetch(pc)
 		}
 
 		// Earliest issue cycle: fetch availability and operand readiness.
@@ -321,10 +343,10 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 		}
 		var opndReady uint64
 		if si.flags&slotNeedRs1 != 0 {
-			opndReady = t.regReady[in.Rs1]
+			opndReady = t.regReady[in.Rs1&63]
 		}
-		if si.flags&slotNeedRs2 != 0 && t.regReady[in.Rs2] > opndReady {
-			opndReady = t.regReady[in.Rs2]
+		if si.flags&slotNeedRs2 != 0 && t.regReady[in.Rs2&63] > opndReady {
+			opndReady = t.regReady[in.Rs2&63]
 		}
 		if opndReady > earliest {
 			t.Stats.RAWStalls += opndReady - earliest
@@ -333,14 +355,13 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 		if earliest > t.cycle {
 			t.advanceTo(earliest)
 		}
-		fu := si.fu
-		for t.slotsUsed >= t.cfg.IssueWidth || (fu != isa.FUNone && t.fuUsed[fu] >= t.fuLimit[fu]) {
+		need, hi := issueNeed(si.fu), issueHigh(si.fu)
+		f2 := t.free - need
+		for f2&hi != hi {
 			t.nextCycle()
+			f2 = t.free - need
 		}
-		t.slotsUsed++
-		if fu != isa.FUNone {
-			t.fuUsed[fu]++
-		}
+		t.free = f2
 		issue := t.cycle
 
 		lat := int(si.lat)
@@ -456,8 +477,8 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 		}
 
 		if si.flags&slotWritesRd != 0 {
-			if ready := issue + uint64(lat); t.regReady[in.Rd] < ready {
-				t.regReady[in.Rd] = ready
+			if ready := issue + uint64(lat); t.regReady[in.Rd&63] < ready {
+				t.regReady[in.Rd&63] = ready
 			}
 		}
 	}
@@ -471,16 +492,7 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 		op := in.Op
 
 		if si.flags&slotNewLine != 0 {
-			t.lastLine = pc >> 3
-			if !t.l1i.Access(pc * 8) {
-				extra := t.cfg.L2Latency
-				if !t.l2.Access(pc * 8) {
-					extra += t.cfg.MemLatency
-				}
-				if c := t.cycle + uint64(extra); t.fetchReady < c {
-					t.fetchReady = c
-				}
-			}
+			t.lineFetch(pc)
 		}
 
 		earliest := t.cycle
@@ -489,10 +501,10 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 		}
 		var opndReady uint64
 		if si.flags&slotNeedRs1 != 0 {
-			opndReady = t.regReady[in.Rs1]
+			opndReady = t.regReady[in.Rs1&63]
 		}
-		if si.flags&slotNeedRs2 != 0 && t.regReady[in.Rs2] > opndReady {
-			opndReady = t.regReady[in.Rs2]
+		if si.flags&slotNeedRs2 != 0 && t.regReady[in.Rs2&63] > opndReady {
+			opndReady = t.regReady[in.Rs2&63]
 		}
 		if op == isa.RET && t.regReady[isa.RRA] > opndReady {
 			opndReady = t.regReady[isa.RRA]
@@ -504,14 +516,13 @@ func (t *Timing) execBlock(m *Machine, b *block) (int64, error) {
 		if earliest > t.cycle {
 			t.advanceTo(earliest)
 		}
-		fu := si.fu
-		for t.slotsUsed >= t.cfg.IssueWidth || (fu != isa.FUNone && t.fuUsed[fu] >= t.fuLimit[fu]) {
+		need, hi := issueNeed(si.fu), issueHigh(si.fu)
+		f2 := t.free - need
+		for f2&hi != hi {
 			t.nextCycle()
+			f2 = t.free - need
 		}
-		t.slotsUsed++
-		if fu != isa.FUNone {
-			t.fuUsed[fu]++
-		}
+		t.free = f2
 		issue := t.cycle
 
 		taken := false

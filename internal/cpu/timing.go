@@ -38,6 +38,17 @@ type Config struct {
 	// (see blockcache.go). The two are bit-identical; this is an escape
 	// hatch for debugging and for A/B-testing the cache itself.
 	DisableBlockCache bool
+
+	// DisableSuperblocks keeps the block-structured path on tier 0
+	// (one basic block per dispatch) instead of promoting hot blocks
+	// into specialized superblock traces (see superblock.go). All three
+	// paths — legacy, tier 0, tier 1 — are bit-identical.
+	DisableSuperblocks bool
+
+	// SuperblockThreshold is the number of tier-0 dispatches after which
+	// a block is promoted into a superblock trace; 0 means
+	// DefaultSuperblockThreshold.
+	SuperblockThreshold int
 }
 
 // DefaultConfig returns the paper's Table 2 machine model.
@@ -126,12 +137,21 @@ type Timing struct {
 	l1d  *Cache
 	l2   *Cache
 
-	cycle     uint64
-	slotsUsed int
-	fuUsed    [5]int
-	fuLimit   [5]int
+	cycle uint64
 
-	regReady   [isa.NumRegs]uint64
+	// Packed per-cycle issue state: one byte per FU class (bytes 0..4,
+	// indexed by isa.FUClass), byte 7 the issue-width budget; bytes 5-6
+	// are unused and never limit. Each byte holds 0x80|remaining, so
+	// issuing one instruction is a single uint64 subtraction and the
+	// cycle is full for that class exactly when a high bit clears.
+	// freeInit is the per-cycle refill value derived from the config
+	// (per-class capacities clamped to 126, far above any real model).
+	free     uint64
+	freeInit uint64
+
+	// regReady is sized to a power of two so hot loops can index it with
+	// a mask instead of a bounds check; entries past isa.NumRegs stay 0.
+	regReady   [64]uint64
 	fetchReady uint64 // earliest cycle the next instruction can issue
 	lastLine   int64
 
@@ -152,11 +172,8 @@ func NewTiming(cfg Config, img *prog.Image) *Timing {
 		lastLine: -1,
 		inPkg:    make([]bool, len(img.Code)),
 	}
-	t.fuLimit[isa.FUNone] = cfg.IssueWidth
-	t.fuLimit[isa.FUIALU] = cfg.IntALUs
-	t.fuLimit[isa.FUFP] = cfg.FPUnits
-	t.fuLimit[isa.FUMem] = cfg.MemUnits
-	t.fuLimit[isa.FUBranch] = cfg.BranchUnits
+	t.freeInit = packIssueInit(cfg)
+	t.free = t.freeInit
 	for addr, b := range img.AddrBlock {
 		if b != nil && b.Fn.IsPackage {
 			t.inPkg[addr] = true
@@ -165,22 +182,80 @@ func NewTiming(cfg Config, img *prog.Image) *Timing {
 	return t
 }
 
+// issueWidthShift is the bit position of the issue-width byte in the
+// packed issue word.
+const issueWidthShift = 56
+
+// packIssueInit builds the per-cycle refill value for the packed issue
+// state: 0x80|capacity in each FU byte and the width byte, 0x80|0x7e in
+// the FUNone and unused bytes so they never limit. Capacities clamp to
+// [0, 126]; a zero capacity stalls the class forever, exactly like the
+// old fuLimit==0 behavior.
+func packIssueInit(cfg Config) uint64 {
+	pack := func(v int) uint64 {
+		if v < 0 {
+			v = 0
+		}
+		if v > 0x7e {
+			v = 0x7e
+		}
+		return uint64(v)
+	}
+	return 0x8080808080808080 |
+		0x7e | // FUNone: consumes an issue slot but no unit
+		pack(cfg.IntALUs)<<(8*uint(isa.FUIALU)) |
+		pack(cfg.FPUnits)<<(8*uint(isa.FUFP)) |
+		pack(cfg.MemUnits)<<(8*uint(isa.FUMem)) |
+		pack(cfg.BranchUnits)<<(8*uint(isa.FUBranch)) |
+		0x7e<<40 | 0x7e<<48 | // unused bytes
+		pack(cfg.IssueWidth)<<issueWidthShift
+}
+
+// issueNeed and issueHigh are the subtract mask and high-bit mask for
+// issuing one instruction of FU class fu: one count from the class byte
+// and one from the width byte.
+func issueNeed(fu isa.FUClass) uint64 {
+	return 1<<(8*uint(fu)) | 1<<issueWidthShift
+}
+
+func issueHigh(fu isa.FUClass) uint64 {
+	return 0x80<<(8*uint(fu)) | 0x80<<issueWidthShift
+}
+
 // nextCycle advances to a fresh issue cycle.
 func (t *Timing) nextCycle() {
 	t.cycle++
-	t.slotsUsed = 0
-	for i := range t.fuUsed {
-		t.fuUsed[i] = 0
-	}
+	t.free = t.freeInit
 }
 
 // advanceTo jumps the issue clock to cycle c (> current).
 func (t *Timing) advanceTo(c uint64) {
 	t.cycle = c
-	t.slotsUsed = 0
-	for i := range t.fuUsed {
-		t.fuUsed[i] = 0
+	t.free = t.freeInit
+}
+
+// lineFetch charges the I-cache hierarchy for fetch crossing onto the
+// line holding pc and delays fetchReady on a miss. The caller has decided
+// the crossing happened (statically via slotNewLine / superblock stitch
+// marks, or by comparing against lastLine at a block entry).
+func (t *Timing) lineFetch(pc int64) {
+	t.fetchReady = t.lineFetchAt(pc, t.cycle, t.fetchReady)
+}
+
+// lineFetchAt is lineFetch for callers that keep cycle and fetchReady in
+// locals (the superblock executor); it returns the updated fetchReady.
+func (t *Timing) lineFetchAt(pc int64, cycle, fetchReady uint64) uint64 {
+	t.lastLine = pc >> 3
+	if !t.l1i.Access(pc * 8) {
+		extra := t.cfg.L2Latency
+		if !t.l2.Access(pc * 8) {
+			extra += t.cfg.MemLatency
+		}
+		if c := cycle + uint64(extra); fetchReady < c {
+			fetchReady = c
+		}
 	}
+	return fetchReady
 }
 
 // dLatency models a data access through the cache hierarchy and returns
@@ -237,11 +312,11 @@ func (t *Timing) Observe(info *StepInfo) {
 		earliest = t.fetchReady
 	}
 	var opndReady uint64
-	if meta.HasRs1 && in.Rs1 != isa.R0 && t.regReady[in.Rs1] > opndReady {
-		opndReady = t.regReady[in.Rs1]
+	if meta.HasRs1 && in.Rs1 != isa.R0 && t.regReady[in.Rs1&63] > opndReady {
+		opndReady = t.regReady[in.Rs1&63]
 	}
-	if meta.HasRs2 && in.Rs2 != isa.R0 && t.regReady[in.Rs2] > opndReady {
-		opndReady = t.regReady[in.Rs2]
+	if meta.HasRs2 && in.Rs2 != isa.R0 && t.regReady[in.Rs2&63] > opndReady {
+		opndReady = t.regReady[in.Rs2&63]
 	}
 	if op == isa.RET && t.regReady[isa.RRA] > opndReady {
 		opndReady = t.regReady[isa.RRA]
@@ -254,14 +329,13 @@ func (t *Timing) Observe(info *StepInfo) {
 		t.advanceTo(earliest)
 	}
 	// Resource constraints: issue width and FU availability.
-	fu := meta.FU
-	for t.slotsUsed >= t.cfg.IssueWidth || (fu != isa.FUNone && t.fuUsed[fu] >= t.fuLimit[fu]) {
+	need, hi := issueNeed(meta.FU), issueHigh(meta.FU)
+	f2 := t.free - need
+	for f2&hi != hi {
 		t.nextCycle()
+		f2 = t.free - need
 	}
-	t.slotsUsed++
-	if fu != isa.FUNone {
-		t.fuUsed[fu]++
-	}
+	t.free = f2
 	issueCycle := t.cycle
 
 	// Result latency.
@@ -280,8 +354,8 @@ func (t *Timing) Observe(info *StepInfo) {
 		}
 	} else if meta.HasRd && in.Rd != isa.R0 {
 		ready := issueCycle + uint64(lat)
-		if t.regReady[in.Rd] < ready {
-			t.regReady[in.Rd] = ready
+		if t.regReady[in.Rd&63] < ready {
+			t.regReady[in.Rd&63] = ready
 		}
 	}
 

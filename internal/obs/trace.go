@@ -143,6 +143,29 @@ const (
 	DroppedEventsCounter = "obs.dropped_events"
 )
 
+// Canonical counter names for the two-tier timed execution engine:
+// basic-block cache traffic and superblock (tier 1) trace activity.
+// Evaluation stages emit these; telemetry always exposes them.
+const (
+	BlockCacheHitsCounter      = "blockcache.hits"
+	BlockCacheMissesCounter    = "blockcache.misses"
+	BlockCacheEvictionsCounter = "blockcache.evictions"
+	SuperblockPromotedCounter  = "superblock.promoted"
+	SuperblockDemotedCounter   = "superblock.demoted"
+	SuperblockSideExitsCounter = "superblock.side_exits"
+	SuperblockChainedCounter   = "superblock.chained_insts"
+)
+
+// EngineCounters lists the execution-engine counter names in render
+// order, for layers that expose or print the whole group.
+func EngineCounters() []string {
+	return []string{
+		BlockCacheHitsCounter, BlockCacheMissesCounter, BlockCacheEvictionsCounter,
+		SuperblockPromotedCounter, SuperblockDemotedCounter,
+		SuperblockSideExitsCounter, SuperblockChainedCounter,
+	}
+}
+
 // ReadTrace decodes one JSON trace and validates its schema marker.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	var t Trace

@@ -70,6 +70,17 @@ type VariantResult struct {
 	// (hits include chained dispatches); both zero when the cache is off.
 	BlockCacheHits   uint64
 	BlockCacheMisses uint64
+
+	// Superblock tier activity for the timed run: traces promoted and
+	// demoted, guard misses that left a trace early, and instructions
+	// retired inside traces. TimedInsts is the run's total retirement,
+	// so SuperblockInsts/TimedInsts is the tier-1 coverage fraction.
+	// All zero when superblocks (or the block cache) are off.
+	SuperblocksPromoted uint64
+	SuperblocksDemoted  uint64
+	SuperblockSideExits uint64
+	SuperblockInsts     uint64
+	TimedInsts          uint64
 }
 
 // InputResult aggregates one benchmark input.
@@ -473,9 +484,13 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 	}
 	o.Observe("eval.cycles", float64(stats.Cycles))
 	if bc != nil {
-		o.Count("blockcache.hits", int64(bc.Stats.Hits+bc.Stats.Chained))
-		o.Count("blockcache.misses", int64(bc.Stats.Misses))
-		o.Count("blockcache.evictions", int64(bc.Stats.Evicted))
+		o.Count(obs.BlockCacheHitsCounter, int64(bc.Stats.Hits+bc.Stats.Chained))
+		o.Count(obs.BlockCacheMissesCounter, int64(bc.Stats.Misses))
+		o.Count(obs.BlockCacheEvictionsCounter, int64(bc.Stats.Evicted))
+		o.Count(obs.SuperblockPromotedCounter, int64(bc.SB.Promoted))
+		o.Count(obs.SuperblockDemotedCounter, int64(bc.SB.Demoted))
+		o.Count(obs.SuperblockSideExitsCounter, int64(bc.SB.SideExits))
+		o.Count(obs.SuperblockChainedCounter, int64(bc.SB.ChainedInsts))
 	}
 	h, n := m.DataHash()
 	vr := VariantResult{
@@ -490,9 +505,14 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 		Phases:     len(out.Regions),
 		Equivalent: h == st.DataHash && n == st.DataStores,
 	}
+	vr.TimedInsts = stats.Insts
 	if bc != nil {
 		vr.BlockCacheHits = bc.Stats.Hits + bc.Stats.Chained
 		vr.BlockCacheMisses = bc.Stats.Misses
+		vr.SuperblocksPromoted = bc.SB.Promoted
+		vr.SuperblocksDemoted = bc.SB.Demoted
+		vr.SuperblockSideExits = bc.SB.SideExits
+		vr.SuperblockInsts = bc.SB.ChainedInsts
 	}
 	if stats.Cycles > 0 {
 		vr.Speedup = float64(base.Cycles) / float64(stats.Cycles)

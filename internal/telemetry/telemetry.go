@@ -130,9 +130,12 @@ func WriteMetrics(w io.Writer, t *obs.Trace) {
 	for k, v := range t.Metrics.Counters {
 		counters[k] = v
 	}
-	// The drop counters are part of the serving contract: always exposed,
-	// zero when nothing was dropped, so alerts can rate() them.
-	for _, k := range []string{obs.DroppedSpansCounter, obs.DroppedEventsCounter} {
+	// The drop counters and the execution-engine counters are part of the
+	// serving contract: always exposed, zero when nothing happened, so
+	// alerts and dashboards can rate() them without series gaps.
+	wellKnown := append([]string{obs.DroppedSpansCounter, obs.DroppedEventsCounter},
+		obs.EngineCounters()...)
+	for _, k := range wellKnown {
 		if _, ok := counters[k]; !ok {
 			counters[k] = 0
 		}

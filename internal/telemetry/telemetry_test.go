@@ -359,3 +359,38 @@ poll:
 		t.Log("histogram appeared only after suite completion (fast run)")
 	}
 }
+
+// The execution-engine counters (block cache + superblock tier) are part
+// of the serving contract: every /metrics render carries all seven series
+// even when no timed run happened, and populated counters pass through.
+func TestWriteMetricsEngineCounters(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMetrics(&buf, obs.NewRecorder().Export())
+	values := parsePromText(t, buf.String())
+	for _, name := range obs.EngineCounters() {
+		if got := values[MetricName(name)]; got != "0" {
+			t.Errorf("empty trace: %s = %q, want 0", MetricName(name), got)
+		}
+	}
+
+	rec := obs.NewRecorder()
+	rec.Count(obs.BlockCacheHitsCounter, 41)
+	rec.Count(obs.SuperblockPromotedCounter, 3)
+	rec.Count(obs.SuperblockChainedCounter, 9001)
+	buf.Reset()
+	WriteMetrics(&buf, rec.Export())
+	values = parsePromText(t, buf.String())
+	want := map[string]string{
+		"vp_blockcache_hits":          "41",
+		"vp_blockcache_misses":        "0",
+		"vp_superblock_promoted":      "3",
+		"vp_superblock_demoted":       "0",
+		"vp_superblock_side_exits":    "0",
+		"vp_superblock_chained_insts": "9001",
+	}
+	for series, v := range want {
+		if values[series] != v {
+			t.Errorf("populated trace: %s = %q, want %q", series, values[series], v)
+		}
+	}
+}

@@ -21,11 +21,11 @@ go test ./...
 go test -race ./internal/report/...
 go test -race ./internal/obs/...
 go test -race ./internal/telemetry/...
-# Block-structured timed simulation: race the cache's concurrent-use shape
-# (shared image, private caches) and the memo-backed suite plumbing. The
-# full-suite equivalence table runs in the plain `go test ./...` above;
-# racing it too would double wall time for no extra coverage.
-go test -race -run 'TestBlockCache' ./internal/cpu/
+# Two-tier timed simulation: race the whole cpu package — the block
+# cache's concurrent-use shape (shared image, private caches), the
+# superblock tier's promotion/demotion machinery, and the randomized
+# tier-equivalence property tests all run under the race detector.
+go test -race ./internal/cpu/...
 
 # Verifier-gated pipeline pass: every stage's output re-checked against
 # the internal/verify rule catalog on a real multi-benchmark run. Any
@@ -37,11 +37,14 @@ go run ./cmd/vpverify -q -bench perl -input A -scale 1
 # so this diff bites exactly on the deterministic pipeline counters —
 # phases detected, regions grown, packages built/linked, simulated
 # cycles. A counter regressing >10% fails verification. The gate runs
-# twice — block cache on (the default) and off — because the two timed
-# paths must be bit-identical: one golden serves both.
+# three times — superblocks on (the default), superblocks off (tier 0
+# only), and block cache off entirely (the legacy path) — because all
+# three timed paths must be bit-identical: one golden serves them all.
 trace_tmp="$(mktemp)"
 trap 'rm -f "$trace_tmp"' EXIT
 go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -trace "$trace_tmp" >/dev/null
+go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
+go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -superblock=off -trace "$trace_tmp" >/dev/null
 go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
 go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -blockcache=off -trace "$trace_tmp" >/dev/null
 go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"

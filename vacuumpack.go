@@ -171,6 +171,9 @@ type (
 	BlockCache = cpu.BlockCache
 	// BlockCacheStats counts block-cache dispatches and evictions.
 	BlockCacheStats = cpu.BlockCacheStats
+	// SuperblockStats counts tier-1 trace promotion, demotion, side
+	// exits and the instructions retired inside chained traces.
+	SuperblockStats = cpu.SuperblockStats
 )
 
 // DefaultMachine returns the paper's Table 2 machine model.

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/obs"
@@ -66,37 +67,20 @@ func main() {
 		noLink    = flag.Bool("nolink", false, "disable package linking")
 		dynL      = flag.Bool("dynlaunch", false, "use dynamic launch-point selection instead of static links")
 		noOpt     = flag.Bool("noopt", false, "disable layout and rescheduling")
-		verifyOn  = flag.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
+		verifyOn  = cliflags.VerifyFlag(flag.CommandLine)
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		verbose   = flag.Bool("v", false, "per-phase and per-package detail")
-		quiet     = flag.Bool("q", false, "print only the final coverage/speedup line (same as -log off for diagnostics)")
-		logMode   = flag.String("log", "text", "structured log mode for diagnostics: "+telemetry.LogModes)
+		logf      = cliflags.LogFlags(flag.CommandLine, "print only the final coverage/speedup line (same as -log off for diagnostics)")
 		tracePath = flag.String("trace", "", "write a JSON span/event/metric trace of the run to `file`")
-		blockc    = flag.String("blockcache", "on", "basic-block simulation cache for timed runs: on|off")
-		superb    = flag.String("superblock", "on", "superblock (tier-1) trace chaining in the block cache: on|off")
-		sbthresh  = flag.Int("sbthreshold", 0, "block executions before superblock promotion (0 = default)")
+		machine   = cliflags.MachineFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	quiet := logf.Quiet()
 
 	mc := cpu.DefaultConfig()
-	switch *blockc {
-	case "on":
-	case "off":
-		mc.DisableBlockCache = true
-	default:
-		fmt.Fprintln(os.Stderr, "vpack: -blockcache must be on or off")
+	if err := machine.Apply(&mc); err != nil {
+		fmt.Fprintln(os.Stderr, "vpack:", err)
 		os.Exit(2)
-	}
-	switch *superb {
-	case "on":
-	case "off":
-		mc.DisableSuperblocks = true
-	default:
-		fmt.Fprintln(os.Stderr, "vpack: -superblock must be on or off")
-		os.Exit(2)
-	}
-	if *sbthresh > 0 {
-		mc.SuperblockThreshold = *sbthresh
 	}
 
 	var o obs.Observer = obs.Nop{}
@@ -106,11 +90,7 @@ func main() {
 		o = tracing.rec
 	}
 
-	mode := *logMode
-	if *quiet {
-		mode = "off"
-	}
-	lg, err := telemetry.NewLogger(mode, os.Stderr, tracing.rec)
+	lg, err := telemetry.NewLogger(logf.Mode(), os.Stderr, tracing.rec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpack:", err)
 		os.Exit(2)
@@ -167,7 +147,7 @@ func main() {
 	cfg.EnableSchedule = !*noOpt
 	cfg.Verify = *verifyOn
 
-	if !*quiet {
+	if !quiet {
 		fmt.Printf("%s: %d funcs, %d blocks, %d static insts\n",
 			title, len(p.Funcs), p.NumBlocks(), p.NumInsts())
 	}
@@ -179,7 +159,7 @@ func main() {
 		}
 		fatal(err)
 	}
-	if !*quiet {
+	if !quiet {
 		fmt.Printf("profile: %d insts, %d cond branches, %d raw detections -> %d phases (%d redundant, %d skipped)\n",
 			out.ProfileInsts, out.ProfileBranches, out.Detections,
 			len(out.DB.Phases), out.DB.Redundant, out.SkippedPhases)
@@ -207,7 +187,7 @@ func main() {
 		}
 	}
 
-	if !*quiet {
+	if !quiet {
 		fmt.Printf("packages: %d in %d groups, %d links, %d monitors, %d launch points\n",
 			len(out.Pack.Packages), len(out.Pack.Groups), out.Pack.Links, out.Pack.Monitors, out.Pack.LaunchPoints)
 		fmt.Printf("static: orig %d insts, +%d added (%.1f%%), %d selected (%.1f%%), replication %.2f\n",
@@ -223,13 +203,13 @@ func main() {
 	if !ev.Equivalent {
 		eq = "DIVERGED (BUG)"
 	}
-	if !*quiet {
+	if !quiet {
 		fmt.Printf("timed: base %d cycles (IPC %.2f) vs packed %d cycles (IPC %.2f)\n",
 			ev.Base.Cycles, ev.Base.IPC(), ev.Packed.Cycles, ev.Packed.IPC())
 	}
 	fmt.Printf("coverage %.1f%%  speedup %.3f  %s\n", ev.Coverage*100, ev.Speedup, eq)
 
-	if !*quiet {
+	if !quiet {
 		cz := out.DB.Categorize()
 		fmt.Printf("branch categories (dynamic-weighted):")
 		for c := phasedb.Category(0); c < phasedb.NumCategories; c++ {

@@ -1,0 +1,298 @@
+// Daemon core: per-program sharded profile accumulators, a bounded
+// repack queue drained by a fixed worker pool, and versioned package
+// serving. The HTTP layer is a thin JSON shim over this; the heavy
+// lifting is the staged pipeline API (core.RegionStage/PackageStage)
+// resumed from each program's accumulated profile artifact.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/phasedb"
+	"repro/internal/prog"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// ErrUnknownProgram reports a request naming a program the daemon does
+// not serve. It is always wrapped with the offending name via %w; match
+// it with errors.Is.
+var ErrUnknownProgram = errors.New("unknown program")
+
+// programState is one benchmark's shard: its pristine program and image
+// (read-only after registration), the mutexed profile accumulator
+// streamed records merge into, and the versioned package history.
+type programState struct {
+	name  string
+	input string
+	scale int64
+	prog  *prog.Program
+	img   *prog.Image
+	hash  uint64
+
+	mu      sync.Mutex
+	db      *phasedb.DB
+	records int64 // total hot-spot records accepted
+	dirty   int   // records since the last enqueued repack
+	pending bool  // queued or mid-repack
+	// versions holds each repack's encoded PackageSet; version N is
+	// versions[N-1]. lastErr keeps the most recent repack failure for
+	// /v1/programs (ErrNoPhases early in a stream is expected).
+	versions [][]byte
+	lastErr  string
+}
+
+// Daemon is the continuous-optimization service state.
+type Daemon struct {
+	cfg    core.Config
+	rec    *obs.Recorder
+	logger *slog.Logger
+	batch  int
+
+	programs map[string]*programState
+
+	// queueMu guards queue against sends after Close; the channel itself
+	// is the bounded repack work queue.
+	queueMu sync.Mutex
+	closed  bool
+	queue   chan *programState
+	poolWG  sync.WaitGroup
+}
+
+// NewDaemon registers one programState per benchmark (restricted to
+// names when non-empty), each built from its first input at scale
+// (0 = the input's own), and starts workers repack goroutines draining
+// the queue, which holds at most queueCap pending repacks. batch is how
+// many fresh records accumulate before a shard re-enters the queue.
+func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap, batch int, rec *obs.Recorder, logger *slog.Logger) (*Daemon, error) {
+	ordered := workload.Ordered()
+	if len(benches) > 0 {
+		var sel []*workload.Benchmark
+		for _, name := range benches {
+			b, err := workload.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("vpackd: %q: %w", name, ErrUnknownProgram)
+			}
+			sel = append(sel, b)
+		}
+		ordered = sel
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		rec:      rec,
+		logger:   logger,
+		batch:    batch,
+		programs: make(map[string]*programState, len(ordered)),
+		queue:    make(chan *programState, queueCap),
+	}
+	for _, b := range ordered {
+		in := b.Inputs[0]
+		if scale > 0 {
+			in.Scale = scale
+		}
+		p := b.Build(in)
+		img, err := p.Linearize()
+		if err != nil {
+			return nil, fmt.Errorf("vpackd: %s: linearize: %w", b.Name, err)
+		}
+		d.programs[b.Name] = &programState{
+			name:  b.Name,
+			input: in.Name,
+			scale: in.Scale,
+			prog:  p,
+			img:   img,
+			hash:  core.ImageHash(img),
+			db:    phasedb.New(cfg.Filter),
+		}
+	}
+	// Fixed worker pool over the bounded queue — the same ForEachN
+	// discipline the suite runner fans out with; each index is one
+	// long-lived drain loop, and the pool returns when Close closes
+	// the queue.
+	d.poolWG.Add(1)
+	go func() {
+		defer d.poolWG.Done()
+		report.ForEachN(workers, workers, func(int) {
+			for st := range d.queue {
+				d.rec.Gauge(obs.DaemonQueueDepthGauge, float64(len(d.queue)))
+				d.repack(st)
+			}
+		})
+	}()
+	d.rec.Gauge(obs.DaemonQueueDepthGauge, 0)
+	return d, nil
+}
+
+// lookup resolves a program name, wrapping ErrUnknownProgram.
+func (d *Daemon) lookup(name string) (*programState, error) {
+	if st, ok := d.programs[name]; ok {
+		return st, nil
+	}
+	return nil, fmt.Errorf("vpackd: %q: %w", name, ErrUnknownProgram)
+}
+
+// record merges n decoded hot spots into the shard's accumulator and
+// enqueues a repack once batch fresh records have piled up. A full queue
+// rejects the enqueue (counted, gauge untouched); the next record past
+// the threshold retries.
+func (d *Daemon) record(st *programState, spots []hotSpotWire) {
+	st.mu.Lock()
+	for i := range spots {
+		st.db.Record(spots[i].toHSD())
+	}
+	st.records += int64(len(spots))
+	st.dirty += len(spots)
+	enqueue := !st.pending && st.dirty >= d.batch
+	if enqueue {
+		st.pending = true
+	}
+	st.mu.Unlock()
+	if enqueue && !d.enqueue(st) {
+		st.mu.Lock()
+		st.pending = false
+		st.mu.Unlock()
+	}
+	d.rec.Count(obs.DaemonRecordsCounter, int64(len(spots)))
+	d.rec.Count(obs.DaemonRecordsCounter+"."+st.name, int64(len(spots)))
+}
+
+// enqueue offers st to the bounded queue without blocking the ingest
+// path; false means the queue was full (or the daemon closed).
+func (d *Daemon) enqueue(st *programState) bool {
+	d.queueMu.Lock()
+	defer d.queueMu.Unlock()
+	if d.closed {
+		return false
+	}
+	select {
+	case d.queue <- st:
+		d.rec.Gauge(obs.DaemonQueueDepthGauge, float64(len(d.queue)))
+		return true
+	default:
+		d.rec.Count(obs.DaemonQueueRejectedCounter, 1)
+		return false
+	}
+}
+
+// repack runs stages 2+3 from the shard's accumulated profile: snapshot
+// the database (so ingest keeps streaming), wrap it as a ProfileArtifact
+// stamped with the shard's image hash, resume RegionStage+PackageStage
+// against a fresh clone, and publish the encoded PackageSet as the next
+// version. Runs on a pool worker; only the snapshot and publish steps
+// hold the shard mutex.
+func (d *Daemon) repack(st *programState) {
+	start := time.Now()
+	st.mu.Lock()
+	snap := st.db.Snapshot()
+	st.dirty = 0
+	st.mu.Unlock()
+
+	pa := &core.ProfileArtifact{
+		Schema:      core.ProfileArtifactSchema,
+		Program:     st.name,
+		ProgramHash: st.hash,
+		ProfileKey:  d.cfg.ProfileKey(),
+		Phases:      snap,
+	}
+	encoded, err := d.buildVersion(st, pa)
+
+	st.mu.Lock()
+	if err != nil {
+		st.lastErr = err.Error()
+	} else {
+		st.lastErr = ""
+		st.versions = append(st.versions, encoded)
+	}
+	st.pending = false
+	// Records that streamed in mid-repack re-arm the queue themselves
+	// once they cross the batch threshold again; nothing to do here.
+	st.mu.Unlock()
+
+	d.rec.Observe(obs.DaemonRepackLatencyHist, float64(time.Since(start).Microseconds()))
+	d.rec.Count(obs.DaemonRepacksCounter, 1)
+	if err != nil {
+		// ErrNoPhases just means the stream is still too thin to package.
+		if !errors.Is(err, core.ErrNoPhases) {
+			d.logger.Warn("repack failed", "program", st.name, "err", err)
+		}
+		return
+	}
+	d.rec.Count(obs.DaemonVersionsCounter, 1)
+	d.logger.Info("repacked", "program", st.name,
+		"version", len(st.versions), "elapsed", time.Since(start).Round(time.Millisecond))
+}
+
+// buildVersion resumes the staged pipeline from pa and returns the
+// encoded PackageSet.
+func (d *Daemon) buildVersion(st *programState, pa *core.ProfileArtifact) ([]byte, error) {
+	clone := st.prog.Clone()
+	cloneImg, err := clone.Linearize()
+	if err != nil {
+		return nil, err
+	}
+	ra, err := core.RegionStage(d.cfg, cloneImg, pa)
+	if err != nil {
+		return nil, err
+	}
+	set, err := core.PackageStage(d.cfg, clone, cloneImg, ra)
+	if err != nil {
+		return nil, err
+	}
+	set.Program = st.name
+	var buf bytes.Buffer
+	if err := set.EncodeJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// version returns the encoded PackageSet for a 1-based version number,
+// or the newest one for latest.
+func (st *programState) version(sel string) ([]byte, int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := len(st.versions)
+	if sel == "latest" {
+		if n == 0 {
+			return nil, 0, fmt.Errorf("no versions yet")
+		}
+		return st.versions[n-1], n, nil
+	}
+	var v int
+	if _, err := fmt.Sscanf(sel, "%d", &v); err != nil || v < 1 {
+		return nil, 0, fmt.Errorf("bad version %q", sel)
+	}
+	if v > n {
+		return nil, 0, fmt.Errorf("version %d not yet built (have %d)", v, n)
+	}
+	return st.versions[v-1], v, nil
+}
+
+// Close stops accepting repacks and waits for in-flight ones to finish.
+// Ingest handlers may still run afterwards (the HTTP server drains
+// separately); their enqueue attempts fail closed.
+func (d *Daemon) Close() {
+	d.queueMu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.queue)
+	}
+	d.queueMu.Unlock()
+	d.poolWG.Wait()
+}

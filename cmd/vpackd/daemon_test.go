@@ -1,0 +1,313 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/hsd"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// newTestDaemon builds a one-benchmark daemon at scale 1 (the test
+// scale the rest of the repo uses) with a small batch so a handful of
+// records triggers a repack.
+func newTestDaemon(t *testing.T, batch int) (*Daemon, *obs.Recorder) {
+	t.Helper()
+	rec := obs.NewRecorder()
+	d, err := NewDaemon(core.ScaledConfig(), []string{"m88ksim"}, 1, 2, 4, batch,
+		rec, slog.New(slog.DiscardHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d, rec
+}
+
+// captureSpots profiles the daemon's own image and returns the raw
+// detector output in wire form — genuine hot-spot records, not mocks.
+func captureSpots(t *testing.T, d *Daemon, name string) []hotSpotWire {
+	t.Helper()
+	st := d.programs[name]
+	var spots []hotSpotWire
+	det := hsd.New(d.cfg.Detector, func(h hsd.HotSpot) { spots = append(spots, fromHSD(h)) })
+	m := cpu.NewMachine(st.img)
+	err := m.Run(d.cfg.ProfileLimit, func(si *cpu.StepInfo) {
+		if si.Inst.Op.IsCondBranch() {
+			det.SetInstCount(m.InstCount)
+			det.Branch(si.PC, si.Taken)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spots) == 0 {
+		t.Fatal("profiling detected no hot spots")
+	}
+	return spots
+}
+
+func postSpots(t *testing.T, h http.Handler, program string, hash uint64, spots []hotSpotWire) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(profilePost{ProgramHash: hash, HotSpots: spots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/profiles/"+program, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// awaitVersion polls the package endpoint until the daemon has built at
+// least one version.
+func awaitVersion(t *testing.T, h http.Handler, program string) *httptest.ResponseRecorder {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		w := get(h, "/v1/packages/"+program+"/latest")
+		if w.Code == http.StatusOK {
+			return w
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no package version after 60s: %s", w.Body.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	d, _ := newTestDaemon(t, 3)
+	h := d.Handler()
+	spots := captureSpots(t, d, "m88ksim")
+
+	// Program discovery advertises the shard and its image hash.
+	w := get(h, "/v1/programs")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/programs: %d", w.Code)
+	}
+	var progs []programInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &progs); err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 1 || progs[0].Program != "m88ksim" {
+		t.Fatalf("programs = %+v", progs)
+	}
+	if progs[0].ProgramHash != d.programs["m88ksim"].hash {
+		t.Fatalf("advertised hash %016x, shard hash %016x", progs[0].ProgramHash, d.programs["m88ksim"].hash)
+	}
+
+	// Stream enough records to cross the batch threshold.
+	for i := 0; i < 3; i++ {
+		if w := postSpots(t, h, "m88ksim", progs[0].ProgramHash, spots); w.Code != http.StatusOK {
+			t.Fatalf("POST profile: %d: %s", w.Code, w.Body.String())
+		}
+	}
+
+	// The daemon repacks and publishes a version.
+	w = awaitVersion(t, h, "m88ksim")
+	set, err := core.DecodePackageSet(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.ProgramHash != progs[0].ProgramHash {
+		t.Fatalf("package hash %016x, program hash %016x", set.ProgramHash, progs[0].ProgramHash)
+	}
+	if len(set.Packages) == 0 {
+		t.Fatal("published PackageSet has no packages")
+	}
+	packed, err := set.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := packed.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.ImageHash(img) != set.PackedHash {
+		t.Fatalf("reassembled image %016x, packed hash %016x", core.ImageHash(img), set.PackedHash)
+	}
+
+	// Explicit version numbers resolve; absurd ones don't.
+	if w := get(h, "/v1/packages/m88ksim/1"); w.Code != http.StatusOK {
+		t.Fatalf("GET version 1: %d", w.Code)
+	}
+	if w := get(h, "/v1/packages/m88ksim/999"); w.Code != http.StatusNotFound {
+		t.Fatalf("GET version 999: %d", w.Code)
+	}
+	if w := get(h, "/v1/packages/m88ksim/bogus"); w.Code != http.StatusNotFound {
+		t.Fatalf("GET version bogus: %d", w.Code)
+	}
+
+	// /metrics exports the daemon series.
+	w = get(h, "/metrics")
+	body := w.Body.String()
+	for _, series := range []string{
+		telemetry.MetricName(obs.DaemonQueueDepthGauge),
+		telemetry.MetricName(obs.DaemonRepackLatencyHist),
+		telemetry.MetricName(obs.DaemonRecordsCounter),
+		telemetry.MetricName(obs.DaemonQueueRejectedCounter),
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics is missing %s", series)
+		}
+	}
+}
+
+func TestDaemonUnknownProgram(t *testing.T) {
+	d, _ := newTestDaemon(t, 3)
+	h := d.Handler()
+
+	if w := postSpots(t, h, "nope", 0, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("POST to unknown program: %d", w.Code)
+	}
+	if w := get(h, "/v1/packages/nope/latest"); w.Code != http.StatusNotFound {
+		t.Fatalf("GET unknown program: %d", w.Code)
+	}
+	if _, err := d.lookup("nope"); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("lookup error %v, want ErrUnknownProgram", err)
+	}
+	_, err := NewDaemon(core.ScaledConfig(), []string{"nope"}, 1, 1, 1, 1,
+		obs.NewRecorder(), slog.New(slog.DiscardHandler))
+	if !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("NewDaemon error %v, want ErrUnknownProgram", err)
+	}
+}
+
+func TestDaemonStaleProfile(t *testing.T) {
+	d, _ := newTestDaemon(t, 3)
+	h := d.Handler()
+	spots := captureSpots(t, d, "m88ksim")
+
+	w := postSpots(t, h, "m88ksim", d.programs["m88ksim"].hash^1, spots)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("stale POST: %d, want 409", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), core.ErrStaleArtifact.Error()) {
+		t.Fatalf("409 body %q does not name the stale-artifact error", w.Body.String())
+	}
+	// A zero hash means the client didn't claim a build; accept it.
+	if w := postSpots(t, h, "m88ksim", 0, spots[:1]); w.Code != http.StatusOK {
+		t.Fatalf("hashless POST: %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestDaemonConcurrentStreams drives 1000 concurrent profile streams
+// through the handler — the acceptance load for the ingest path: the
+// per-shard mutex serializes accumulation, the bounded queue absorbs
+// repack pressure, and no record is lost.
+func TestDaemonConcurrentStreams(t *testing.T) {
+	d, rec := newTestDaemon(t, 50)
+	h := d.Handler()
+	spots := captureSpots(t, d, "m88ksim")
+
+	const streams = 1000
+	perStream := spots[:1]
+	var wg sync.WaitGroup
+	codes := make([]int, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			codes[s] = postSpots(t, h, "m88ksim", 0, perStream).Code
+		}(s)
+	}
+	wg.Wait()
+	for s, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("stream %d: status %d", s, code)
+		}
+	}
+
+	st := d.programs["m88ksim"]
+	st.mu.Lock()
+	records := st.records
+	st.mu.Unlock()
+	if records != streams {
+		t.Fatalf("accepted %d records, want %d", records, streams)
+	}
+	if got := rec.Export().Metrics.Counters[obs.DaemonRecordsCounter]; got != streams {
+		t.Fatalf("%s = %d, want %d", obs.DaemonRecordsCounter, got, streams)
+	}
+
+	// The load crossed the batch threshold many times over; the daemon
+	// must still converge on at least one published version.
+	awaitVersion(t, h, "m88ksim")
+}
+
+func TestDaemonCloseStopsQueue(t *testing.T) {
+	rec := obs.NewRecorder()
+	d, err := NewDaemon(core.ScaledConfig(), []string{"m88ksim"}, 1, 1, 1, 1,
+		rec, slog.New(slog.DiscardHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Close() // idempotent
+	if d.enqueue(d.programs["m88ksim"]) {
+		t.Fatal("enqueue succeeded after Close")
+	}
+	if got := rec.Export().Metrics.Counters[obs.DaemonQueueRejectedCounter]; got != 0 {
+		t.Fatalf("closed enqueue counted as queue rejection (%d)", got)
+	}
+}
+
+func TestProgramStateVersionSelection(t *testing.T) {
+	st := &programState{versions: [][]byte{[]byte("v1"), []byte("v2")}}
+	for _, tc := range []struct {
+		sel  string
+		data string
+		v    int
+		ok   bool
+	}{
+		{"latest", "v2", 2, true},
+		{"1", "v1", 1, true},
+		{"2", "v2", 2, true},
+		{"3", "", 0, false},
+		{"0", "", 0, false},
+		{"-1", "", 0, false},
+		{"x", "", 0, false},
+	} {
+		data, v, err := st.version(tc.sel)
+		if tc.ok != (err == nil) {
+			t.Errorf("version(%q) err = %v, want ok=%v", tc.sel, err, tc.ok)
+			continue
+		}
+		if tc.ok && (string(data) != tc.data || v != tc.v) {
+			t.Errorf("version(%q) = %q, %d; want %q, %d", tc.sel, data, v, tc.data, tc.v)
+		}
+	}
+	empty := &programState{}
+	if _, _, err := empty.version("latest"); err == nil {
+		t.Error("latest on empty history should fail")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v", got)
+	}
+	got := splitList("a, b,,c ")
+	want := []string{"a", "b", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("splitList = %v, want %v", got, want)
+	}
+}

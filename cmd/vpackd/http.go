@@ -1,0 +1,183 @@
+// HTTP/JSON shim: the v1 wire format and route table. Versioned under
+// /v1 so the codec can evolve; everything else (/metrics, /trace,
+// /healthz, /readyz, /debug/pprof) is the shared telemetry serving tier.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/hsd"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// branchWire is one branch of a streamed hot-spot record.
+type branchWire struct {
+	PC    int64  `json:"pc"`
+	Exec  uint32 `json:"exec"`
+	Taken uint32 `json:"taken"`
+}
+
+// hotSpotWire is one hot-spot detection as clients stream it: the
+// monitor-table contents at detection, in BBB order.
+type hotSpotWire struct {
+	Seq      int          `json:"seq"`
+	AtBranch uint64       `json:"at_branch,string"`
+	AtInst   uint64       `json:"at_inst,string"`
+	Branches []branchWire `json:"branches"`
+}
+
+func (h *hotSpotWire) toHSD() hsd.HotSpot {
+	hs := hsd.HotSpot{
+		Seq:              h.Seq,
+		DetectedAtBranch: h.AtBranch,
+		DetectedAtInst:   h.AtInst,
+		Branches:         make([]hsd.BranchRecord, len(h.Branches)),
+	}
+	for i, b := range h.Branches {
+		hs.Branches[i] = hsd.BranchRecord{PC: b.PC, Exec: b.Exec, Taken: b.Taken}
+	}
+	return hs
+}
+
+// fromHSD lowers a detector hot spot to the wire form; the daemon's
+// tests and load paths use it to build realistic ingest bodies.
+func fromHSD(hs hsd.HotSpot) hotSpotWire {
+	w := hotSpotWire{
+		Seq:      hs.Seq,
+		AtBranch: hs.DetectedAtBranch,
+		AtInst:   hs.DetectedAtInst,
+		Branches: make([]branchWire, len(hs.Branches)),
+	}
+	for i, b := range hs.Branches {
+		w.Branches[i] = branchWire{PC: b.PC, Exec: b.Exec, Taken: b.Taken}
+	}
+	return w
+}
+
+// profilePost is POST /v1/profiles/{program}'s body. ProgramHash, when
+// non-zero, must match the daemon's image for the program — a mismatch
+// is answered 409 (the client's profile came from a different build).
+type profilePost struct {
+	ProgramHash uint64        `json:"program_hash,string"`
+	HotSpots    []hotSpotWire `json:"hot_spots"`
+}
+
+// profileAck is the ingest response.
+type profileAck struct {
+	Records int64 `json:"records"`
+	Queued  bool  `json:"queued"`
+}
+
+// programInfo is one row of GET /v1/programs.
+type programInfo struct {
+	Program     string `json:"program"`
+	Input       string `json:"input"`
+	Scale       int64  `json:"scale"`
+	ProgramHash uint64 `json:"program_hash,string"`
+	Records     int64  `json:"records"`
+	Versions    int    `json:"versions"`
+	Pending     bool   `json:"pending"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// Handler builds the daemon's full route table: the /v1 API plus the
+// telemetry tier, whose /metrics always exposes the daemon series.
+func (d *Daemon) Handler() http.Handler {
+	tsrv := telemetry.NewServer(d.rec)
+	tsrv.AlwaysCounters(obs.DaemonCounters()...)
+	tsrv.SetReady(true)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", tsrv.Handler())
+	mux.HandleFunc("GET /v1/programs", d.handlePrograms)
+	mux.HandleFunc("POST /v1/profiles/{program}", d.handleProfile)
+	mux.HandleFunc("GET /v1/packages/{program}/{version}", d.handlePackage)
+	return mux
+}
+
+func (d *Daemon) handlePrograms(w http.ResponseWriter, _ *http.Request) {
+	var list []programInfo
+	for _, b := range orderedNames(d.programs) {
+		st := d.programs[b]
+		st.mu.Lock()
+		list = append(list, programInfo{
+			Program:     st.name,
+			Input:       st.input,
+			Scale:       st.scale,
+			ProgramHash: st.hash,
+			Records:     st.records,
+			Versions:    len(st.versions),
+			Pending:     st.pending,
+			LastError:   st.lastErr,
+		})
+		st.mu.Unlock()
+	}
+	writeJSON(w, list)
+}
+
+func (d *Daemon) handleProfile(w http.ResponseWriter, r *http.Request) {
+	st, err := d.lookup(r.PathValue("program"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var post profilePost
+	if err := json.NewDecoder(r.Body).Decode(&post); err != nil {
+		http.Error(w, fmt.Sprintf("vpackd: decode profile record: %v", err), http.StatusBadRequest)
+		return
+	}
+	if post.ProgramHash != 0 && post.ProgramHash != st.hash {
+		err := fmt.Errorf("vpackd: profile of image %016x streamed to image %016x: %w",
+			post.ProgramHash, st.hash, core.ErrStaleArtifact)
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	d.record(st, post.HotSpots)
+	st.mu.Lock()
+	ack := profileAck{Records: st.records, Queued: st.pending}
+	st.mu.Unlock()
+	writeJSON(w, ack)
+}
+
+func (d *Daemon) handlePackage(w http.ResponseWriter, r *http.Request) {
+	st, err := d.lookup(r.PathValue("program"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	data, v, err := st.version(r.PathValue("version"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("vpackd: %s: %v", st.name, err), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Vpackd-Version", fmt.Sprint(v))
+	w.Write(data)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// orderedNames returns map keys sorted, so /v1/programs is stable.
+func orderedNames(m map[string]*programState) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

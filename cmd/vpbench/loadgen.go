@@ -1,0 +1,319 @@
+// Load-generator mode (-daemon): instead of running the suite locally,
+// vpbench plays the role of many deployed clients whose hardware
+// detectors stream hot-spot records to a vpackd instance. It discovers
+// the daemon's registered programs, captures genuine detector output by
+// profiling each benchmark locally, streams the records over -streams
+// concurrent connections, waits for the daemon to publish a package
+// version per program, and finally scrapes /metrics to confirm the
+// daemon's queue/latency series are exported.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/hsd"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// The daemon's v1 wire format (cmd/vpackd). Hash and count fields big
+// enough to lose precision in float64 travel as JSON strings.
+type wireBranch struct {
+	PC    int64  `json:"pc"`
+	Exec  uint32 `json:"exec"`
+	Taken uint32 `json:"taken"`
+}
+
+type wireHotSpot struct {
+	Seq      int          `json:"seq"`
+	AtBranch uint64       `json:"at_branch,string"`
+	AtInst   uint64       `json:"at_inst,string"`
+	Branches []wireBranch `json:"branches"`
+}
+
+type wirePost struct {
+	ProgramHash uint64        `json:"program_hash,string"`
+	HotSpots    []wireHotSpot `json:"hot_spots"`
+}
+
+type wireProgram struct {
+	Program     string `json:"program"`
+	Input       string `json:"input"`
+	Scale       int64  `json:"scale"`
+	ProgramHash uint64 `json:"program_hash,string"`
+}
+
+// postChunk bounds how many hot spots ride in one POST, so a stream is
+// many small requests (like real trickling clients), not one big one.
+const postChunk = 10
+
+func runLoadgen(url string, streams, records int, benches, logMode string) int {
+	logger, err := telemetry.NewLogger(logMode, os.Stderr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpbench:", err)
+		return 2
+	}
+	if err := loadgen(url, streams, records, benches, logger); err != nil {
+		fmt.Fprintln(os.Stderr, "vpbench: daemon:", err)
+		if errors.Is(err, core.ErrStaleArtifact) {
+			fmt.Fprintln(os.Stderr, "vpbench: hint: the daemon serves a different build of the program; restart vpackd with matching -bench/-scale")
+		}
+		return 1
+	}
+	return 0
+}
+
+func loadgen(url string, streams, records int, benches string, logger *slog.Logger) error {
+	url = strings.TrimSuffix(url, "/")
+	if streams < 1 {
+		streams = 1
+	}
+	if records < 1 {
+		records = 1
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var progs []wireProgram
+	if err := getJSON(client, url+"/v1/programs", &progs); err != nil {
+		return err
+	}
+	if benches != "" {
+		want := make(map[string]bool)
+		for _, b := range strings.Split(benches, ",") {
+			want[strings.TrimSpace(b)] = true
+		}
+		var sel []wireProgram
+		for _, p := range progs {
+			if want[p.Program] {
+				sel = append(sel, p)
+			}
+		}
+		progs = sel
+	}
+	if len(progs) == 0 {
+		return fmt.Errorf("daemon at %s serves no matching programs", url)
+	}
+
+	for _, p := range progs {
+		spots, err := captureSpots(p)
+		if err != nil {
+			return err
+		}
+		logger.Info("captured", "program", p.Program, "hot_spots", len(spots))
+		if err := streamSpots(client, url, p, spots, streams, records, logger); err != nil {
+			return err
+		}
+	}
+
+	for _, p := range progs {
+		set, version, err := awaitPackage(client, url, p)
+		if err != nil {
+			return err
+		}
+		logger.Info("package ready", "program", p.Program, "version", version,
+			"packages", len(set.Packages), "code_growth", fmt.Sprintf("%.3f", set.CodeGrowth()))
+	}
+
+	if err := checkMetrics(client, url); err != nil {
+		return err
+	}
+	fmt.Printf("daemon ok: %d programs, %d records x %d streams each, packages fetched, metrics exported\n",
+		len(progs), records, streams)
+	return nil
+}
+
+// captureSpots rebuilds the advertised benchmark input and profiles it
+// locally, keeping the detector's raw hot-spot records — exactly what a
+// deployed client's hardware monitor would stream.
+func captureSpots(p wireProgram) ([]wireHotSpot, error) {
+	b, err := workload.ByName(p.Program)
+	if err != nil {
+		return nil, err
+	}
+	in, err := b.InputByName(p.Input)
+	if err != nil {
+		return nil, err
+	}
+	in.Scale = p.Scale
+	img, err := b.Build(in).Linearize()
+	if err != nil {
+		return nil, err
+	}
+	if h := core.ImageHash(img); h != p.ProgramHash {
+		return nil, fmt.Errorf("%s: local image %016x, daemon image %016x: %w",
+			p.Program, h, p.ProgramHash, core.ErrStaleArtifact)
+	}
+
+	cfg := core.ScaledConfig()
+	var spots []wireHotSpot
+	det := hsd.New(cfg.Detector, func(h hsd.HotSpot) {
+		w := wireHotSpot{
+			Seq:      h.Seq,
+			AtBranch: h.DetectedAtBranch,
+			AtInst:   h.DetectedAtInst,
+			Branches: make([]wireBranch, len(h.Branches)),
+		}
+		for i, br := range h.Branches {
+			w.Branches[i] = wireBranch{PC: br.PC, Exec: br.Exec, Taken: br.Taken}
+		}
+		spots = append(spots, w)
+	})
+	m := cpu.NewMachine(img)
+	err = m.Run(cfg.ProfileLimit, func(si *cpu.StepInfo) {
+		if si.Inst.Op.IsCondBranch() {
+			det.SetInstCount(m.InstCount)
+			det.Branch(si.PC, si.Taken)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", p.Program, err)
+	}
+	if len(spots) == 0 {
+		return nil, fmt.Errorf("%s: no hot spots detected; raise the daemon's -scale", p.Program)
+	}
+	return spots, nil
+}
+
+// streamSpots posts records total hot-spot records for one program over
+// streams concurrent connections, cycling the captured spots as needed.
+func streamSpots(client *http.Client, url string, p wireProgram, spots []wireHotSpot, streams, records int, logger *slog.Logger) error {
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	for s := 0; s < streams; s++ {
+		// Spread the total across the streams, front-loading remainders.
+		n := records / streams
+		if s < records%streams {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s, n int) {
+			defer wg.Done()
+			for sent := 0; sent < n; {
+				chunk := min(postChunk, n-sent)
+				batch := make([]wireHotSpot, chunk)
+				for i := 0; i < chunk; i++ {
+					batch[i] = spots[(s+sent+i)%len(spots)]
+				}
+				if err := postProfile(client, url, p, batch); err != nil {
+					errs[s] = err
+					return
+				}
+				sent += chunk
+			}
+		}(s, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	logger.Info("streamed", "program", p.Program, "records", records, "streams", streams)
+	return nil
+}
+
+func postProfile(client *http.Client, url string, p wireProgram, spots []wireHotSpot) error {
+	body, err := json.Marshal(wirePost{ProgramHash: p.ProgramHash, HotSpots: spots})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url+"/v1/profiles/"+p.Program, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("%s: POST profile: %s: %s", p.Program, resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode == http.StatusConflict {
+			err = fmt.Errorf("%w: %w", err, core.ErrStaleArtifact)
+		}
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// awaitPackage polls the program's latest package version until the
+// daemon has built one, then decodes and sanity-checks it.
+func awaitPackage(client *http.Client, url string, p wireProgram) (*core.PackageSet, int, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(url + "/v1/packages/" + p.Program + "/latest")
+		if err != nil {
+			return nil, 0, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			set, err := core.DecodePackageSet(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s: decode package: %w", p.Program, err)
+			}
+			version := 0
+			fmt.Sscanf(resp.Header.Get("Vpackd-Version"), "%d", &version)
+			if set.ProgramHash != p.ProgramHash {
+				return nil, 0, fmt.Errorf("%s: package for image %016x, daemon advertised %016x: %w",
+					p.Program, set.ProgramHash, p.ProgramHash, core.ErrStaleArtifact)
+			}
+			return set, version, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			return nil, 0, fmt.Errorf("%s: no package version after 60s (status %s)", p.Program, resp.Status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// checkMetrics scrapes /metrics and confirms the daemon's queue-depth
+// gauge and repack-latency histogram series are exported.
+func checkMetrics(client *http.Client, url string) error {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, series := range []string{
+		telemetry.MetricName(obs.DaemonQueueDepthGauge),
+		telemetry.MetricName(obs.DaemonRepackLatencyHist),
+		telemetry.MetricName(obs.DaemonRecordsCounter),
+	} {
+		if !strings.Contains(string(body), series) {
+			return fmt.Errorf("/metrics is missing the %s series", series)
+		}
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

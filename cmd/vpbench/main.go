@@ -22,6 +22,8 @@
 //	vpbench -log json       # structured progress records (text|json|off)
 //	vpbench -verify         # static verifier gates every stage (exit 3 on violation)
 //	vpbench -verifyoverhead # extra verify-on run, overhead recorded in -benchjson
+//	vpbench -daemon URL     # load generator: stream hot-spot profiles to vpackd
+//	                        # (-streams, -records size the load; see loadgen.go)
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/obs"
@@ -97,21 +100,25 @@ func main() {
 		scale      = flag.Int64("scale", 0, "override every input's iteration scale")
 		jobs       = flag.Int("j", 0, "concurrent benchmark inputs (0 = GOMAXPROCS, 1 = sequential)")
 		reps       = flag.Int("reps", 1, "run the suite N times and report the best (fastest) rep")
-		blockcache = flag.String("blockcache", "on", "basic-block simulation cache for timed runs: on|off")
-		superblock = flag.String("superblock", "on", "superblock (tier-1) trace chaining in the block cache: on|off")
-		sbthresh   = flag.Int("sbthreshold", 0, "block executions before superblock promotion (0 = default)")
-		quiet      = flag.Bool("q", false, "suppress progress records (same as -log off)")
-		logMode    = flag.String("log", "text", "structured log mode: "+telemetry.LogModes)
+		machine    = cliflags.MachineFlags(flag.CommandLine)
+		logf       = cliflags.LogFlags(flag.CommandLine, "suppress progress records (same as -log off)")
 		serve      = flag.String("serve", "", "serve /metrics, /trace, /healthz, /readyz and /debug/pprof on `addr` during the run")
 		benchjson  = flag.String("benchjson", "", "write machine-readable suite timing JSON to `file`")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
 		metrics    = flag.Bool("metrics", false, "print per-stage wall-time, counter, gauge and histogram tables after the suite")
 		tracePath  = flag.String("trace", "", "write the suite's JSON span/event/metric trace to `file`")
-		verifyOn   = flag.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
+		verifyOn   = cliflags.VerifyFlag(flag.CommandLine)
 		verifyOH   = flag.Bool("verifyoverhead", false, "additionally run the suite once with -verify on and record the overhead in -benchjson")
+		daemonURL  = flag.String("daemon", "", "load-generator mode: stream hot-spot profiles to a running vpackd at `url` instead of running the suite")
+		streams    = flag.Int("streams", 8, "concurrent profile streams in -daemon mode")
+		records    = flag.Int("records", 100, "total hot-spot records to stream in -daemon mode")
 	)
 	flag.Parse()
+
+	if *daemonURL != "" {
+		os.Exit(runLoadgen(*daemonURL, *streams, *records, *benches, logf.Mode()))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -139,24 +146,9 @@ func main() {
 		Jobs:          *jobs,
 	}
 	opts.Core.Verify = *verifyOn
-	switch *blockcache {
-	case "on":
-	case "off":
-		opts.Machine.DisableBlockCache = true
-	default:
-		fmt.Fprintln(os.Stderr, "vpbench: -blockcache must be on or off")
+	if err := machine.Apply(&opts.Machine); err != nil {
+		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(2)
-	}
-	switch *superblock {
-	case "on":
-	case "off":
-		opts.Machine.DisableSuperblocks = true
-	default:
-		fmt.Fprintln(os.Stderr, "vpbench: -superblock must be on or off")
-		os.Exit(2)
-	}
-	if *sbthresh > 0 {
-		opts.Machine.SuperblockThreshold = *sbthresh
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
@@ -167,11 +159,7 @@ func main() {
 		opts.Observer = rec
 	}
 
-	mode := *logMode
-	if *quiet {
-		mode = "off"
-	}
-	logger, err := telemetry.NewLogger(mode, os.Stderr, rec)
+	logger, err := telemetry.NewLogger(logf.Mode(), os.Stderr, rec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(2)

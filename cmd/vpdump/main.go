@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/obs"
@@ -93,17 +94,12 @@ func main() {
 		input   = flag.String("input", "A", "input name")
 		fnName  = flag.String("fn", "", "function to dump (default: hottest region function)")
 		phase   = flag.Int("phase", -1, "overlay this phase's region temperatures")
-		pkgIdx  = flag.Int("pkg", -1, "dump the Nth extracted package instead")
-		quiet   = flag.Bool("q", false, "suppress profiling/stage diagnostics (same as -log off)")
-		logMode = flag.String("log", "text", "structured log mode for diagnostics: "+telemetry.LogModes)
+		pkgIdx = flag.Int("pkg", -1, "dump the Nth extracted package instead")
+		logf   = cliflags.LogFlags(flag.CommandLine, "suppress profiling/stage diagnostics (same as -log off)")
 	)
 	flag.Parse()
 
-	mode := *logMode
-	if *quiet {
-		mode = "off"
-	}
-	lg, err := telemetry.NewLogger(mode, os.Stderr, nil)
+	lg, err := telemetry.NewLogger(logf.Mode(), os.Stderr, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpdump:", err)
 		os.Exit(2)

@@ -1,0 +1,89 @@
+// Package cliflags centralizes the flag declarations shared by the
+// command-line tools (vpack, vpbench, vpdump, vpackd): the execution
+// engine knobs (-blockcache, -superblock, -sbthreshold), the structured
+// logging pair (-log, -q) and the static verifier gate (-verify). Each
+// tool registers the shared groups into its own FlagSet so names,
+// defaults and semantics stay identical across the toolbox.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/telemetry"
+)
+
+// Machine carries the engine flags: the basic-block simulation cache,
+// the superblock tier and its promotion threshold.
+type Machine struct {
+	blockCache  string
+	superblock  string
+	sbThreshold int
+}
+
+// MachineFlags registers -blockcache, -superblock and -sbthreshold on fs.
+func MachineFlags(fs *flag.FlagSet) *Machine {
+	m := &Machine{}
+	fs.StringVar(&m.blockCache, "blockcache", "on", "basic-block simulation cache for timed runs: on|off")
+	fs.StringVar(&m.superblock, "superblock", "on", "superblock (tier-1) trace chaining in the block cache: on|off")
+	fs.IntVar(&m.sbThreshold, "sbthreshold", 0, "block executions before superblock promotion (0 = default)")
+	return m
+}
+
+// Apply validates the parsed values and applies them to mc. The error
+// text names the offending flag, ready for a "tool: error" line and a
+// usage exit (2).
+func (m *Machine) Apply(mc *cpu.Config) error {
+	switch m.blockCache {
+	case "on":
+	case "off":
+		mc.DisableBlockCache = true
+	default:
+		return fmt.Errorf("-blockcache must be on or off")
+	}
+	switch m.superblock {
+	case "on":
+	case "off":
+		mc.DisableSuperblocks = true
+	default:
+		return fmt.Errorf("-superblock must be on or off")
+	}
+	if m.sbThreshold > 0 {
+		mc.SuperblockThreshold = m.sbThreshold
+	}
+	return nil
+}
+
+// Log carries the logging pair: -log selects the structured mode, -q
+// forces it off (each tool phrases its own -q usage line, since what -q
+// silences differs per tool).
+type Log struct {
+	mode  string
+	quiet bool
+}
+
+// LogFlags registers -log and -q on fs.
+func LogFlags(fs *flag.FlagSet, quietUsage string) *Log {
+	l := &Log{}
+	fs.BoolVar(&l.quiet, "q", false, quietUsage)
+	fs.StringVar(&l.mode, "log", "text", "structured log mode: "+telemetry.LogModes)
+	return l
+}
+
+// Mode returns the effective log mode: "off" when -q was given,
+// otherwise the -log value.
+func (l *Log) Mode() string {
+	if l.quiet {
+		return "off"
+	}
+	return l.mode
+}
+
+// Quiet reports whether -q was given.
+func (l *Log) Quiet() bool { return l.quiet }
+
+// VerifyFlag registers -verify on fs.
+func VerifyFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
+}

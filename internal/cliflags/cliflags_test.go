@@ -1,0 +1,98 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestMachineDefaults(t *testing.T) {
+	fs := newFS()
+	m := MachineFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	mc := cpu.DefaultConfig()
+	if err := m.Apply(&mc); err != nil {
+		t.Fatal(err)
+	}
+	if mc.DisableBlockCache || mc.DisableSuperblocks {
+		t.Errorf("defaults disabled the engine tiers: %+v", mc)
+	}
+	if mc.SuperblockThreshold != cpu.DefaultConfig().SuperblockThreshold {
+		t.Errorf("default -sbthreshold changed the threshold to %d", mc.SuperblockThreshold)
+	}
+}
+
+func TestMachineOff(t *testing.T) {
+	fs := newFS()
+	m := MachineFlags(fs)
+	if err := fs.Parse([]string{"-blockcache=off", "-superblock=off", "-sbthreshold=7"}); err != nil {
+		t.Fatal(err)
+	}
+	mc := cpu.DefaultConfig()
+	if err := m.Apply(&mc); err != nil {
+		t.Fatal(err)
+	}
+	if !mc.DisableBlockCache || !mc.DisableSuperblocks {
+		t.Errorf("off values not applied: %+v", mc)
+	}
+	if mc.SuperblockThreshold != 7 {
+		t.Errorf("SuperblockThreshold = %d, want 7", mc.SuperblockThreshold)
+	}
+}
+
+func TestMachineInvalid(t *testing.T) {
+	for _, arg := range []string{"-blockcache=maybe", "-superblock=maybe"} {
+		fs := newFS()
+		m := MachineFlags(fs)
+		if err := fs.Parse([]string{arg}); err != nil {
+			t.Fatal(err)
+		}
+		mc := cpu.DefaultConfig()
+		if err := m.Apply(&mc); err == nil {
+			t.Errorf("%s: Apply accepted an invalid value", arg)
+		}
+	}
+}
+
+func TestLogMode(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "text"},
+		{[]string{"-log=json"}, "json"},
+		{[]string{"-q"}, "off"},
+		{[]string{"-log=json", "-q"}, "off"}, // -q wins
+	}
+	for _, c := range cases {
+		fs := newFS()
+		l := LogFlags(fs, "quiet")
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.Mode(); got != c.want {
+			t.Errorf("%v: Mode() = %q, want %q", c.args, got, c.want)
+		}
+	}
+}
+
+func TestVerifyFlag(t *testing.T) {
+	fs := newFS()
+	v := VerifyFlag(fs)
+	if err := fs.Parse([]string{"-verify"}); err != nil {
+		t.Fatal(err)
+	}
+	if !*v {
+		t.Error("-verify did not set the flag")
+	}
+}

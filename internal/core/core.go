@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
 
 	"repro/internal/cpu"
 	"repro/internal/hsd"
@@ -192,15 +191,17 @@ type Outcome struct {
 	SkippedPhases int
 }
 
-// ProfileStats summarizes one profiling run.
+// ProfileStats summarizes one profiling run. The JSON tags are the
+// ProfileArtifact codec's: counters that can exceed 2^53 travel as
+// strings so the round trip is exact.
 type ProfileStats struct {
-	Insts      uint64
-	Branches   uint64
-	Detections uint64
+	Insts      uint64 `json:"insts,string"`
+	Branches   uint64 `json:"branches,string"`
+	Detections uint64 `json:"detections,string"`
 	// DataHash/DataStores fingerprint the run's data-segment effects for
 	// functional-equivalence checks against packed runs.
-	DataHash   uint64
-	DataStores uint64
+	DataHash   uint64 `json:"data_hash,string"`
+	DataStores uint64 `json:"data_stores,string"`
 }
 
 // Profile runs the program to completion under the Hot Spot Detector
@@ -276,6 +277,11 @@ func Run(cfg Config, p *prog.Program) (*Outcome, error) {
 // RunObserved is Run reporting spans, events and metrics for every stage
 // to an observer. Pass obs.Nop{} (or call Run) when observability is off;
 // the disabled path adds no allocations.
+//
+// It is a thin composition over the staged pipeline API: ProfileStage →
+// RegionStage → PackageStage, with the intermediate artifacts folded into
+// the Outcome. The observer stream is byte-identical to the pre-staged
+// monolithic flow.
 func RunObserved(cfg Config, p *prog.Program, o obs.Observer) (*Outcome, error) {
 	sp := o.StartSpan(obs.StagePipeline)
 	defer sp.End()
@@ -285,15 +291,15 @@ func RunObserved(cfg Config, p *prog.Program, o obs.Observer) (*Outcome, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: linearize: %w", err)
 	}
-	db, st, err := ProfileObserved(cfg, img, nil, o)
+	pa, err := ProfileStageObserved(cfg, img, nil, o)
 	if err != nil {
 		return nil, err
 	}
-	out.DB = db
-	out.ProfileInsts = st.Insts
-	out.ProfileBranches = st.Branches
-	out.Detections = st.Detections
-	if err := PackageObserved(cfg, out, p, img, db, o); err != nil {
+	out.DB = pa.DB()
+	out.ProfileInsts = pa.Stats.Insts
+	out.ProfileBranches = pa.Stats.Branches
+	out.Detections = pa.Stats.Detections
+	if err := packageStaged(cfg, out, p, img, pa, o); err != nil {
 		return out, err
 	}
 	return out, nil
@@ -324,131 +330,18 @@ func (cfg Config) passes() opt.Passes {
 // PackageObserved is Package reporting to an observer: the filter, region,
 // package, link and optimize stages each run inside their span, and
 // skipped phases emit PhaseSkipped events carrying the reason.
+//
+// It composes RegionStageObserved and PackageStageObserved over a
+// profile artifact wrapped around db, stamped with img's hash so the
+// stages' staleness checks pass by construction.
 func PackageObserved(cfg Config, out *Outcome, p *prog.Program, img *prog.Image, db *phasedb.DB, o obs.Observer) error {
-	// Phase selection: order by detection weight and apply the MaxPhases
-	// cap. The software filter proper runs inline during profiling; this
-	// is its post-pass over the accumulated database.
-	fsp := o.StartSpan(obs.StageFilter)
-	phases := append([]*phasedb.Phase(nil), db.Phases...)
-	sort.SliceStable(phases, func(i, j int) bool {
-		return phases[i].Detections > phases[j].Detections
-	})
-	if cfg.MaxPhases > 0 && len(phases) > cfg.MaxPhases {
-		o.Count("filter.capped_phases", int64(len(phases)-cfg.MaxPhases))
-		phases = phases[:cfg.MaxPhases]
+	pa := &ProfileArtifact{
+		Schema:      ProfileArtifactSchema,
+		ProgramHash: ImageHash(img),
+		ProfileKey:  cfg.ProfileKey(),
+		db:          db,
 	}
-	o.Count("filter.selected_phases", int64(len(phases)))
-	fsp.End()
-
-	// Step 2: region identification per unique phase (§3.2).
-	rsp := o.StartSpan(obs.StageRegion)
-	regByPhase := make(map[int]*region.Region)
-	for _, ph := range phases {
-		r, err := region.IdentifyObserved(cfg.Region, img, ph, o)
-		if err != nil {
-			out.SkippedPhases++
-			o.Emit(obs.Event{Kind: obs.PhaseSkipped, Phase: ph.ID, Name: err.Error()})
-			o.Count("region.skipped_phases", 1)
-			continue
-		}
-		if cfg.Verify {
-			if err := verifyCheck(o, verify.Region("region", cfg.Region, img, ph, r)); err != nil {
-				rsp.End()
-				return fmt.Errorf("core: region verification (phase %d): %w", ph.ID, err)
-			}
-		}
-		out.Regions = append(out.Regions, r)
-		regByPhase[ph.ID] = r
-	}
-	rsp.End()
-	if len(out.Regions) == 0 {
-		return fmt.Errorf("core: %w (%d phases, %d skipped)", ErrNoPhases, len(db.Phases), out.SkippedPhases)
-	}
-
-	// Step 3: package construction (§3.3).
-	psp := o.StartSpan(obs.StagePackage)
-	var pkgs []*pack.Package
-	for _, r := range out.Regions {
-		ps, err := pack.BuildPhaseObserved(cfg.Pack, p, r, o)
-		if err != nil {
-			out.SkippedPhases++
-			o.Emit(obs.Event{Kind: obs.PhaseSkipped, Phase: r.PhaseID, Name: err.Error()})
-			o.Count("pack.skipped_phases", 1)
-			continue
-		}
-		pkgs = append(pkgs, ps...)
-	}
-	psp.End()
-	if len(pkgs) == 0 {
-		return fmt.Errorf("core: %w", ErrNoPackages)
-	}
-	pcfg := cfg.Pack
-	if cfg.Verify {
-		// Sandwich hook: InstallObserved runs this after its built-in
-		// structural check, before the result escapes.
-		pcfg.Verify = func(p *prog.Program, res *pack.Result) error {
-			if err := verifyCheck(o, verify.Program("link", p)); err != nil {
-				return err
-			}
-			return verifyCheck(o, verify.Packages("link", p, res))
-		}
-	}
-	res, err := pack.InstallObserved(pcfg, p, pkgs, o)
-	if err != nil {
-		return err
-	}
-	out.Pack = res
-
-	// Optimization (§5.4): weight calculation, relayout, rescheduling.
-	osp := o.StartSpan(obs.StageOptimize)
-	ps := cfg.passes()
-	var rec *opt.PassRecord
-	if cfg.Verify {
-		rec = &opt.PassRecord{}
-		ps.Record = rec
-	}
-	for _, pk := range res.Packages {
-		r := regByPhase[pk.PhaseID]
-		if r == nil {
-			continue
-		}
-		if cfg.Verify {
-			// Passes mutate only pk.Fn, so the per-pass sandwich checks
-			// just that function; the stage-boundary checks below re-prove
-			// the whole program.
-			fn := pk.Fn
-			ps.Check = func(pass string) error {
-				return verifyCheck(o, verify.Func("optimize/"+pass, p, fn))
-			}
-		}
-		entries := make([]*prog.Block, 0, len(pk.Entries))
-		for _, c := range pk.Entries {
-			entries = append(entries, c)
-		}
-		if err := opt.ApplyPasses(ps, p, pk.Fn, entries, r, o); err != nil {
-			osp.End()
-			return fmt.Errorf("core: pass verification (%s): %w", pk.Fn.Name, err)
-		}
-	}
-	osp.End()
-
-	if err := p.Verify(); err != nil {
-		return fmt.Errorf("core: packed program invalid: %w", err)
-	}
-	if cfg.Verify {
-		checks := []error{
-			verifyCheck(o, verify.Program("optimize", p)),
-			verifyCheck(o, verify.Packages("optimize", p, res)),
-			verifyCheck(o, verify.Passes("optimize", p, rec)),
-			verifyCheck(o, verify.Schedule("optimize", rec)),
-		}
-		for _, err := range checks {
-			if err != nil {
-				return fmt.Errorf("core: post-optimization verification: %w", err)
-			}
-		}
-	}
-	return nil
+	return packageStaged(cfg, out, p, img, pa, o)
 }
 
 // verifyCheck accounts one verifier invocation on the observer and passes

@@ -166,6 +166,29 @@ func EngineCounters() []string {
 	}
 }
 
+// Canonical metric names for the continuous-optimization daemon
+// (cmd/vpackd): stream and repack counters, the bounded-queue depth
+// gauge, and the repack wall-time histogram. Per-program stream counters
+// derive from DaemonRecordsCounter by suffixing ".<program>".
+const (
+	DaemonRecordsCounter       = "vpackd.records"
+	DaemonRepacksCounter       = "vpackd.repacks"
+	DaemonQueueRejectedCounter = "vpackd.queue_rejected"
+	DaemonVersionsCounter      = "vpackd.versions"
+	DaemonQueueDepthGauge      = "vpackd.queue_depth"
+	DaemonRepackLatencyHist    = "vpackd.repack_latency_us"
+)
+
+// DaemonCounters lists the daemon counter names the serving tier always
+// exposes (zero when idle), so queue-rejection and repack rates can be
+// alerted on without series gaps.
+func DaemonCounters() []string {
+	return []string{
+		DaemonRecordsCounter, DaemonRepacksCounter,
+		DaemonQueueRejectedCounter, DaemonVersionsCounter,
+	}
+}
+
 // ReadTrace decodes one JSON trace and validates its schema marker.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	var t Trace

@@ -1,0 +1,90 @@
+// Snapshot is the serializable form of a phase database. The staged
+// pipeline API (internal/core's ProfileArtifact) and the vpackd daemon
+// both move databases across process boundaries as JSON; a Snapshot
+// round-trips losslessly, including the per-phase representative-window
+// weight the software filter's merge rule depends on, so a restored
+// database keeps filtering new detections exactly as the original would.
+package phasedb
+
+import "sort"
+
+// PhaseSnapshot is one phase's serializable form. Branches are sorted by
+// PC so equal databases encode to equal bytes.
+type PhaseSnapshot struct {
+	ID         int          `json:"id"`
+	Branches   []BranchStat `json:"branches"`
+	Detections int          `json:"detections"`
+
+	FirstAtBranch uint64 `json:"first_at_branch,string"`
+	LastAtBranch  uint64 `json:"last_at_branch,string"`
+	FirstAtInst   uint64 `json:"first_at_inst,string"`
+	LastAtInst    uint64 `json:"last_at_inst,string"`
+
+	// RepWeight is the executed weight of the representative detection
+	// window currently held in Branches (see mergeInto).
+	RepWeight uint64 `json:"rep_weight,string"`
+}
+
+// Snapshot is a whole database's serializable form.
+type Snapshot struct {
+	Config    Config          `json:"config"`
+	Phases    []PhaseSnapshot `json:"phases"`
+	Redundant int             `json:"redundant"`
+	Timeline  []Transition    `json:"timeline,omitempty"`
+}
+
+// Snapshot returns a deep, serializable copy of the database.
+func (db *DB) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Config:    db.cfg,
+		Phases:    make([]PhaseSnapshot, 0, len(db.Phases)),
+		Redundant: db.Redundant,
+	}
+	if len(db.Timeline) > 0 {
+		s.Timeline = append([]Transition(nil), db.Timeline...)
+	}
+	for _, ph := range db.Phases {
+		s.Phases = append(s.Phases, PhaseSnapshot{
+			ID:            ph.ID,
+			Branches:      ph.SortedBranches(),
+			Detections:    ph.Detections,
+			FirstAtBranch: ph.FirstAtBranch,
+			LastAtBranch:  ph.LastAtBranch,
+			FirstAtInst:   ph.FirstAtInst,
+			LastAtInst:    ph.LastAtInst,
+			RepWeight:     ph.repWeight,
+		})
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a live database from a snapshot. The result
+// is independent of the snapshot: recording further detections into it
+// behaves exactly as it would have on the snapshotted original.
+func FromSnapshot(s *Snapshot) *DB {
+	db := New(s.Config)
+	db.Redundant = s.Redundant
+	if len(s.Timeline) > 0 {
+		db.Timeline = append([]Transition(nil), s.Timeline...)
+	}
+	phases := append([]PhaseSnapshot(nil), s.Phases...)
+	sort.Slice(phases, func(i, j int) bool { return phases[i].ID < phases[j].ID })
+	for _, ps := range phases {
+		ph := &Phase{
+			ID:            ps.ID,
+			Branches:      make(map[int64]*BranchStat, len(ps.Branches)),
+			Detections:    ps.Detections,
+			FirstAtBranch: ps.FirstAtBranch,
+			LastAtBranch:  ps.LastAtBranch,
+			FirstAtInst:   ps.FirstAtInst,
+			LastAtInst:    ps.LastAtInst,
+			repWeight:     ps.RepWeight,
+		}
+		for i := range ps.Branches {
+			b := ps.Branches[i]
+			ph.Branches[b.PC] = &b
+		}
+		db.Phases = append(db.Phases, ph)
+	}
+	return db
+}

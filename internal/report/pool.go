@@ -1,0 +1,41 @@
+// Bounded worker-pool discipline shared by the suite runner and the
+// daemon tooling (cmd/vpackd's repack queue drain, vpbench's load
+// generator): fixed worker count, work handed out by index, results
+// written into caller-owned slots so completion order never leaks into
+// output order.
+package report
+
+import "sync"
+
+// ForEachN invokes fn(i) for every i in [0, n), running at most workers
+// invocations concurrently. workers <= 1 (or n < 2) degenerates to an
+// inline sequential loop in index order. fn must write results into
+// per-index slots; ForEachN provides no ordering between concurrent
+// invocations beyond returning only after all complete.
+func ForEachN(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -154,25 +154,25 @@ type profileMemo struct {
 	entries map[uint64]*profileEntry
 }
 
-// profileEntry is one memoized profiling result. once makes concurrent
-// first callers compute exactly once; the other fields are written inside
-// once.Do and read-only afterwards.
+// profileEntry is one memoized profiling result: the stage-1 profile
+// artifact plus the baseline timing collected in the same pass. once
+// makes concurrent first callers compute exactly once; the other fields
+// are written inside once.Do and read-only afterwards.
 type profileEntry struct {
 	once sync.Once
-	db   *phasedb.DB
-	st   core.ProfileStats
+	pa   *core.ProfileArtifact
 	base cpu.TimingStats
 	err  error
 }
 
-// profile returns the memoized profiling result for cfg's profile
+// profile returns the memoized profile artifact for cfg's profile
 // sub-config, running the pass at most once per distinct key. The pass
 // executes under the observer of whichever caller reaches once.Do first;
 // RunSuite always primes the memo from the input-level eager call, so the
 // profile span lands in the per-item recorder and variant traces stay
 // deterministic at every -j. Each call records a profile_memo.hits or
 // profile_memo.misses counter into its own observer.
-func (pm *profileMemo) profile(cfg core.Config, mc cpu.Config, img *prog.Image, o obs.Observer) (*phasedb.DB, core.ProfileStats, cpu.TimingStats, error) {
+func (pm *profileMemo) profile(cfg core.Config, mc cpu.Config, img *prog.Image, o obs.Observer) (*core.ProfileArtifact, cpu.TimingStats, error) {
 	key := cfg.ProfileKey()
 	pm.mu.Lock()
 	e, ok := pm.entries[key]
@@ -192,12 +192,12 @@ func (pm *profileMemo) profile(cfg core.Config, mc cpu.Config, img *prog.Image, 
 	e.once.Do(func() {
 		// One pass: HSD profile + baseline timing.
 		timing := cpu.NewTiming(mc, img)
-		e.db, e.st, e.err = core.ProfileObserved(cfg, img, timing.Observe, o)
+		e.pa, e.err = core.ProfileStageObserved(cfg, img, timing.Observe, o)
 		if e.err == nil {
 			e.base = timing.Finish()
 		}
 	})
-	return e.db, e.st, e.base, e.err
+	return e.pa, e.base, e.err
 }
 
 // RunSuite executes the pipeline for every benchmark input and variant.
@@ -297,47 +297,22 @@ func RunSuite(opts Options) (*Suite, error) {
 		progressMu.Unlock()
 	}
 
-	if jobs == 1 {
-		for idx, it := range items {
-			io2, rec := itemObserver()
-			ir, err := runInput(opts, it.b, it.in, false, io2)
-			if rec != nil {
-				traces[idx] = rec.Export()
-			}
-			if err != nil {
-				errs[idx] = fmt.Errorf("report: %s/%s: %w", it.b.Name, it.in.Name, err)
-				continue
-			}
-			report(idx, ir)
+	// Fan out over the shared bounded pool (ForEachN); jobs == 1 runs the
+	// same closure inline in paper order.
+	parallel := jobs != 1
+	ForEachN(jobs, len(items), func(idx int) {
+		it := items[idx]
+		io2, rec := itemObserver()
+		ir, err := runInput(opts, it.b, it.in, parallel, io2)
+		if rec != nil {
+			traces[idx] = rec.Export()
 		}
-	} else {
-		work := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < jobs; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for idx := range work {
-					it := items[idx]
-					io2, rec := itemObserver()
-					ir, err := runInput(opts, it.b, it.in, true, io2)
-					if rec != nil {
-						traces[idx] = rec.Export()
-					}
-					if err != nil {
-						errs[idx] = fmt.Errorf("report: %s/%s: %w", it.b.Name, it.in.Name, err)
-						continue
-					}
-					report(idx, ir)
-				}
-			}()
+		if err != nil {
+			errs[idx] = fmt.Errorf("report: %s/%s: %w", it.b.Name, it.in.Name, err)
+			return
 		}
-		for idx := range items {
-			work <- idx
-		}
-		close(work)
-		wg.Wait()
-	}
+		report(idx, ir)
+	})
 
 	// Merge per-item traces in paper order while the suite span is still
 	// open, so item spans re-parent under it deterministically.
@@ -383,18 +358,19 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 	// ahead of the variant spans in the trace, and every variant whose
 	// profiling sub-config matches — all four paper variants — hits.
 	memo := &profileMemo{}
-	db, st, base, err := memo.profile(opts.Core, opts.Machine, img, o)
+	pa, base, err := memo.profile(opts.Core, opts.Machine, img, o)
 	if err != nil {
 		return nil, err
 	}
+	db := pa.DB()
 
 	ir := &InputResult{
 		Bench:      b.Name,
 		Input:      in.Name,
 		Paper:      b.Paper,
-		DynInsts:   st.Insts,
-		Branches:   st.Branches,
-		Detections: st.Detections,
+		DynInsts:   pa.Stats.Insts,
+		Branches:   pa.Stats.Branches,
+		Detections: pa.Stats.Detections,
 		Phases:     len(db.Phases),
 		Base:       base,
 		Categories: db.Categorize(),
@@ -443,8 +419,11 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 // runVariant packages a fresh clone of the profiled program under one
 // variant configuration and times it against the shared baseline. The
 // profiling result comes from the input's memo — a hit for every variant
-// that shares the profiling sub-config; p and the memoized db/st/base are
-// read-only here.
+// that shares the profiling sub-config; p and the memoized artifact/base
+// are read-only here. The variant runs the staged pipeline directly:
+// RegionStage and PackageStage against the clone's image, whose hash
+// matches the profiled image by the Clone-preserves-linearization
+// property the stages' staleness checks enforce.
 func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMemo, v core.Variant, o obs.Observer) (VariantResult, error) {
 	sp := obs.Span{}
 	if o.Enabled() {
@@ -452,22 +431,29 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 	}
 	defer sp.End()
 	cfg := v.Apply(opts.Core)
-	db, st, base, err := memo.profile(cfg, opts.Machine, img, o)
+	pa, base, err := memo.profile(cfg, opts.Machine, img, o)
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
+	st := pa.Stats
 	clone := p.Clone()
 	// The clone linearizes identically to the profiled program (IDs
 	// and layout are preserved), so the phase database's PCs map onto
-	// the clone's own image.
+	// the clone's own image — and its image hash matches the artifact's
+	// ProgramHash, which RegionStage verifies.
 	cloneImg, err := clone.Linearize()
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
-	out := &core.Outcome{Original: p, Packed: clone, DB: db}
-	if err := core.PackageObserved(cfg, out, clone, cloneImg, db, o); err != nil {
+	ra, err := core.RegionStageObserved(cfg, cloneImg, pa, o)
+	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
+	set, err := core.PackageStageObserved(cfg, clone, cloneImg, ra, o)
+	if err != nil {
+		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
+	}
+	res := set.Result()
 	packedImg, err := clone.Linearize()
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
@@ -496,13 +482,13 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 	vr := VariantResult{
 		Variant:    v,
 		Coverage:   stats.PackageCoverage(),
-		Growth:     out.Pack.CodeGrowth(),
-		Selected:   out.Pack.SelectedFraction(),
-		Repl:       out.Pack.Replication(),
-		Packages:   len(out.Pack.Packages),
-		Links:      out.Pack.Links,
-		Launch:     out.Pack.LaunchPoints,
-		Phases:     len(out.Regions),
+		Growth:     res.CodeGrowth(),
+		Selected:   res.SelectedFraction(),
+		Repl:       res.Replication(),
+		Packages:   len(res.Packages),
+		Links:      res.Links,
+		Launch:     res.LaunchPoints,
+		Phases:     ra.NumRegions(),
 		Equivalent: h == st.DataHash && n == st.DataStores,
 	}
 	vr.TimedInsts = stats.Insts

@@ -353,11 +353,11 @@ func TestProfileMemoConcurrent(t *testing.T) {
 			if i%2 == 1 {
 				cfg = cfgB
 			}
-			db, _, _, err := memo.profile(cfg, cpu.DefaultConfig(), img, rec)
+			pa, _, err := memo.profile(cfg, cpu.DefaultConfig(), img, rec)
 			if err != nil {
 				t.Errorf("worker %d: %v", i, err)
 			}
-			dbs[i] = db
+			dbs[i] = pa.DB()
 		}(i)
 	}
 	wg.Wait()

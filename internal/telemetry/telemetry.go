@@ -35,6 +35,8 @@ type Server struct {
 	ready atomic.Bool
 	mux   *http.ServeMux
 	http  *http.Server
+	// extra counter names /metrics always renders (see AlwaysCounters).
+	extra []string
 }
 
 // NewServer builds a server over src. It starts not-ready; call SetReady
@@ -58,6 +60,14 @@ func NewServer(src Source) *Server {
 // or an existing mux.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// AlwaysCounters registers additional counter names that /metrics renders
+// even when the snapshot has no sample yet (value 0) — the same
+// no-series-gaps contract the engine counters get by default. Call before
+// Listen; names are not synchronized after serving starts.
+func (s *Server) AlwaysCounters(names ...string) {
+	s.extra = append(s.extra, names...)
+}
+
 // SetReady flips the /readyz state.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
@@ -77,7 +87,7 @@ func (s *Server) Close() error { return s.http.Close() }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	WriteMetrics(w, s.src.Export())
+	WriteMetricsExtra(w, s.src.Export(), s.extra...)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
@@ -124,6 +134,13 @@ func MetricName(name string) string {
 // is sorted by metric name, so identical traces render identical bytes —
 // which is what makes /metrics diffable and, after Normalize, goldenable.
 func WriteMetrics(w io.Writer, t *obs.Trace) {
+	WriteMetricsExtra(w, t)
+}
+
+// WriteMetricsExtra is WriteMetrics with additional always-exposed
+// counter names (rendered as 0 when the snapshot has none) — the daemon
+// uses it to keep its queue/repack series gap-free from the first scrape.
+func WriteMetricsExtra(w io.Writer, t *obs.Trace, extra ...string) {
 	fmtFloat := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 	counters := make(map[string]int64, len(t.Metrics.Counters)+2)
@@ -135,6 +152,7 @@ func WriteMetrics(w io.Writer, t *obs.Trace) {
 	// alerts and dashboards can rate() them without series gaps.
 	wellKnown := append([]string{obs.DroppedSpansCounter, obs.DroppedEventsCounter},
 		obs.EngineCounters()...)
+	wellKnown = append(wellKnown, extra...)
 	for _, k := range wellKnown {
 		if _, ok := counters[k]; !ok {
 			counters[k] = 0

@@ -26,6 +26,10 @@ go test -race ./internal/telemetry/...
 # superblock tier's promotion/demotion machinery, and the randomized
 # tier-equivalence property tests all run under the race detector.
 go test -race ./internal/cpu/...
+# Staged pipeline API + daemon: artifact round trips, staleness checks,
+# the resumability golden (staged == straight-through, byte for byte)
+# and vpackd's sharded ingest under 1000 concurrent streams.
+go test -race ./cmd/vpackd/... ./internal/core/...
 
 # Verifier-gated pipeline pass: every stage's output re-checked against
 # the internal/verify rule catalog on a real multi-benchmark run. Any
@@ -48,5 +52,30 @@ go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -superblock=off -tr
 go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
 go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -blockcache=off -trace "$trace_tmp" >/dev/null
 go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
+
+# Daemon smoke test: boot vpackd on a free port, stream 100 hot-spot
+# records from 8 concurrent clients (vpbench's load-generator mode,
+# which also fetches the published package and checks the /metrics
+# series), confirm a package version is served, then verify SIGTERM
+# shuts the daemon down cleanly (exit 0, queue drained).
+daemon_dir="$(mktemp -d)"
+daemon_pid=""
+trap 'rm -f "$trace_tmp"; rm -rf "$daemon_dir"; [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
+go build -o bin/vpackd ./cmd/vpackd
+go build -o bin/vpbench ./cmd/vpbench
+bin/vpackd -addr 127.0.0.1:0 -addrfile "$daemon_dir/addr" -bench m88ksim -scale 1 -batch 10 -log off &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$daemon_dir/addr" ] && break
+    sleep 0.1
+done
+[ -s "$daemon_dir/addr" ] || { echo "vpackd never wrote its address" >&2; exit 1; }
+daemon_addr="$(cat "$daemon_dir/addr")"
+bin/vpbench -daemon "http://$daemon_addr" -streams 8 -records 100 -log off
+curl -sf "http://$daemon_addr/v1/packages/m88ksim/latest" >/dev/null
+curl -sf "http://$daemon_addr/metrics" | grep -q '^vp_vpackd_queue_depth'
+curl -sf "http://$daemon_addr/metrics" | grep -q '^vp_vpackd_repack_latency_us'
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "vpackd did not exit cleanly" >&2; exit 1; }
 
 echo "tier-1 verify: OK"

@@ -100,6 +100,53 @@ var (
 	// ErrVerifyFailed: the static verifier (Config.Verify) rejected a
 	// pipeline stage's output; the chain carries the rule diagnostics.
 	ErrVerifyFailed = core.ErrVerifyFailed
+	// ErrStaleArtifact: a staged-pipeline artifact was applied to a
+	// program whose image differs from the artifact's origin.
+	ErrStaleArtifact = core.ErrStaleArtifact
+)
+
+// Staged pipeline API. The three stages behind Run are independently
+// invokable and exchange typed, serializable artifacts (stable JSON
+// codecs, content hashes) — the basis of persistent profiles and the
+// vpackd continuous-optimization daemon:
+//
+//	img, _ := program.Linearize()
+//	pa, err := vacuumpack.ProfileStage(cfg, img, nil)
+//	ra, err := vacuumpack.RegionStage(cfg, img, pa)
+//	set, err := vacuumpack.PackageStage(cfg, program, img, ra)
+type (
+	// ProfileArtifact is stage 1's output: the filtered phase database
+	// plus profiling statistics, stamped with the image hash.
+	ProfileArtifact = core.ProfileArtifact
+	// RegionArtifact is stage 2's output: identified hot regions by
+	// program-stable block IDs.
+	RegionArtifact = core.RegionArtifact
+	// PackageSet is stage 3's output: the packed program with its
+	// installed, optimized packages, versionable and servable.
+	PackageSet = core.PackageSet
+)
+
+// ProfileStage profiles img under the Hot Spot Detector (stage 1).
+func ProfileStage(cfg Config, img *Image, obsFn func(*StepInfo)) (*ProfileArtifact, error) {
+	return core.ProfileStage(cfg, img, obsFn)
+}
+
+// RegionStage selects phases and identifies hot regions (stage 2).
+func RegionStage(cfg Config, img *Image, pa *ProfileArtifact) (*RegionArtifact, error) {
+	return core.RegionStage(cfg, img, pa)
+}
+
+// PackageStage extracts, links and optimizes packages into p (stage 3).
+func PackageStage(cfg Config, p *Program, img *Image, ra *RegionArtifact) (*PackageSet, error) {
+	return core.PackageStage(cfg, p, img, ra)
+}
+
+// DecodeProfileArtifact, DecodeRegionArtifact and DecodePackageSet read
+// artifacts previously written by their EncodeJSON methods.
+var (
+	DecodeProfileArtifact = core.DecodeProfileArtifact
+	DecodeRegionArtifact  = core.DecodeRegionArtifact
+	DecodePackageSet      = core.DecodePackageSet
 )
 
 // Observability. The pipeline reports stage-scoped spans, a typed event

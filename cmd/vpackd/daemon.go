@@ -11,9 +11,12 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/hsd"
 	"repro/internal/obs"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
@@ -37,26 +40,51 @@ type programState struct {
 	img   *prog.Image
 	hash  uint64
 
+	// tracker is the shard's drift timeline; its own mutex serializes it,
+	// so ingest touches it outside the shard lock.
+	tracker *drift.Tracker
+
 	mu      sync.Mutex
 	db      *phasedb.DB
 	records int64 // total hot-spot records accepted
 	dirty   int   // records since the last enqueued repack
 	pending bool  // queued or mid-repack
+	// enqueuedAt stamps the last successful enqueue, for the
+	// queue-wait histogram at worker pickup.
+	enqueuedAt time.Time
+	// pendIngests chains the ingest traces contributing records since the
+	// last snapshot (capped at maxProvIngests); pendIngestN is the
+	// uncapped count. Both reset when a repack snapshots the shard.
+	pendIngests []core.IngestRef
+	pendIngestN int64
 	// versions holds each repack's encoded PackageSet; version N is
-	// versions[N-1]. lastErr keeps the most recent repack failure for
-	// /v1/programs (ErrNoPhases early in a stream is expected).
+	// versions[N-1], its build record provs[N-1]. lastErr keeps the most
+	// recent repack failure for /v1/programs (ErrNoPhases early in a
+	// stream is expected).
 	versions [][]byte
+	provs    []*core.Provenance
 	lastErr  string
 }
 
+// maxProvIngests caps the ingest-trace chain a provenance record retains;
+// IngestsTotal keeps the uncapped count.
+const maxProvIngests = 32
+
 // Daemon is the continuous-optimization service state.
 type Daemon struct {
-	cfg    core.Config
-	rec    *obs.Recorder
-	logger *slog.Logger
-	batch  int
+	cfg      core.Config
+	driftCfg drift.Config
+	rec      *obs.Recorder
+	logger   *slog.Logger
+	batch    int
 
 	programs map[string]*programState
+
+	// events is the bounded /v1/events ring; ingestSeq and repackSeq mint
+	// the request-scoped trace IDs.
+	events    *drift.EventRing
+	ingestSeq atomic.Int64
+	repackSeq atomic.Int64
 
 	// queueMu guards queue against sends after Close; the channel itself
 	// is the bounded repack work queue.
@@ -71,7 +99,9 @@ type Daemon struct {
 // (0 = the input's own), and starts workers repack goroutines draining
 // the queue, which holds at most queueCap pending repacks. batch is how
 // many fresh records accumulate before a shard re-enters the queue.
-func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap, batch int, rec *obs.Recorder, logger *slog.Logger) (*Daemon, error) {
+// driftCfg sizes the per-program drift trackers (a disabled config keeps
+// ingest and repack working with the drift series pinned at zero).
+func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, rec *obs.Recorder, logger *slog.Logger) (*Daemon, error) {
 	ordered := workload.Ordered()
 	if len(benches) > 0 {
 		var sel []*workload.Benchmark
@@ -95,10 +125,12 @@ func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap
 	}
 	d := &Daemon{
 		cfg:      cfg,
+		driftCfg: driftCfg,
 		rec:      rec,
 		logger:   logger,
 		batch:    batch,
 		programs: make(map[string]*programState, len(ordered)),
+		events:   drift.NewEventRing(drift.DefaultEventRing),
 		queue:    make(chan *programState, queueCap),
 	}
 	for _, b := range ordered {
@@ -112,13 +144,14 @@ func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap
 			return nil, fmt.Errorf("vpackd: %s: linearize: %w", b.Name, err)
 		}
 		d.programs[b.Name] = &programState{
-			name:  b.Name,
-			input: in.Name,
-			scale: in.Scale,
-			prog:  p,
-			img:   img,
-			hash:  core.ImageHash(img),
-			db:    phasedb.New(cfg.Filter),
+			name:    b.Name,
+			input:   in.Name,
+			scale:   in.Scale,
+			prog:    p,
+			img:     img,
+			hash:    core.ImageHash(img),
+			db:      phasedb.New(cfg.Filter),
+			tracker: drift.NewTracker(driftCfg, b.Name, rec),
 		}
 	}
 	// Fixed worker pool over the bounded queue — the same ForEachN
@@ -147,20 +180,49 @@ func (d *Daemon) lookup(name string) (*programState, error) {
 	return nil, fmt.Errorf("vpackd: %q: %w", name, ErrUnknownProgram)
 }
 
+// ingestTrace resolves the request-scoped trace ID for one profile POST:
+// the client's own (Vpackd-Trace header) when supplied, else a
+// daemon-minted "ing-" ID. Every downstream artifact of the ingest —
+// queue entry, repack, published version — carries it.
+func (d *Daemon) ingestTrace(client string) string {
+	if client != "" {
+		return client
+	}
+	return fmt.Sprintf("ing-%08d", d.ingestSeq.Add(1))
+}
+
 // record merges n decoded hot spots into the shard's accumulator and
 // enqueues a repack once batch fresh records have piled up. A full queue
 // rejects the enqueue (counted, gauge untouched); the next record past
-// the threshold retries.
-func (d *Daemon) record(st *programState, spots []hotSpotWire) {
-	st.mu.Lock()
+// the threshold retries. trace is the ingest's request-scoped ID; it is
+// chained into the provenance of whichever version packages the records.
+func (d *Daemon) record(st *programState, spots []hotSpotWire, trace string) {
+	hss := make([]hsd.HotSpot, len(spots))
+	phaseIDs := make([]int, len(spots))
 	for i := range spots {
-		st.db.Record(spots[i].toHSD())
+		hss[i] = spots[i].toHSD()
+	}
+
+	st.mu.Lock()
+	for i := range hss {
+		if ph := st.db.Record(hss[i]); ph != nil {
+			phaseIDs[i] = ph.ID
+		} else {
+			phaseIDs[i] = -1
+		}
 	}
 	st.records += int64(len(spots))
 	st.dirty += len(spots)
+	if len(spots) > 0 {
+		st.pendIngestN++
+		if len(st.pendIngests) < maxProvIngests {
+			st.pendIngests = append(st.pendIngests, core.IngestRef{Trace: trace, Records: len(spots)})
+		}
+	}
 	enqueue := !st.pending && st.dirty >= d.batch
 	if enqueue {
 		st.pending = true
+		st.enqueuedAt = time.Now()
 	}
 	st.mu.Unlock()
 	if enqueue && !d.enqueue(st) {
@@ -168,8 +230,61 @@ func (d *Daemon) record(st *programState, spots []hotSpotWire) {
 		st.pending = false
 		st.mu.Unlock()
 	}
+
+	// Fold the records into the drift timeline (the tracker has its own
+	// mutex, so the shard lock is not held across it) and surface every
+	// closed window on the event stream.
+	windowsClosed := 0
+	for i := range hss {
+		if st.tracker.Observe(hss[i], phaseIDs[i]) {
+			windowsClosed++
+		}
+	}
+	if windowsClosed > 0 {
+		score := st.tracker.Score()
+		for i := 0; i < windowsClosed; i++ {
+			d.events.Append(drift.StreamEvent{
+				UnixUS:  time.Now().UnixMicro(),
+				Kind:    drift.EventWindow,
+				Program: st.name,
+				Trace:   trace,
+				N:       int64(d.driftCfg.Window),
+				Score:   score.Composite,
+			})
+		}
+		d.publishDriftAggregate()
+	}
+	d.events.Append(drift.StreamEvent{
+		UnixUS:  time.Now().UnixMicro(),
+		Kind:    drift.EventIngest,
+		Program: st.name,
+		Trace:   trace,
+		N:       int64(len(spots)),
+	})
+
 	d.rec.Count(obs.DaemonRecordsCounter, int64(len(spots)))
 	d.rec.Count(obs.DaemonRecordsCounter+"."+st.name, int64(len(spots)))
+}
+
+// publishDriftAggregate refreshes the unsuffixed vp_drift_* gauges as the
+// maximum across all programs' trackers — "the most drifted program" is
+// the alertable fleet signal; per-program values live on the suffixed
+// series.
+func (d *Daemon) publishDriftAggregate() {
+	var score, peak, div, flips, cross float64
+	for _, st := range d.programs {
+		s := st.tracker.Score()
+		score = max(score, s.Composite)
+		peak = max(peak, s.Peak)
+		div = max(div, s.HotSetDivergence)
+		flips = max(flips, float64(s.BiasFlips))
+		cross = max(cross, s.FilterCrossings)
+	}
+	d.rec.Gauge(obs.DriftScoreGauge, score)
+	d.rec.Gauge(obs.DriftPeakGauge, peak)
+	d.rec.Gauge(obs.DriftDivergenceGauge, div)
+	d.rec.Gauge(obs.DriftBiasFlipsGauge, flips)
+	d.rec.Gauge(obs.DriftCrossingsGauge, cross)
 }
 
 // enqueue offers st to the bounded queue without blocking the ingest
@@ -198,10 +313,29 @@ func (d *Daemon) enqueue(st *programState) bool {
 // hold the shard mutex.
 func (d *Daemon) repack(st *programState) {
 	start := time.Now()
+	trace := fmt.Sprintf("rpk-%05d", d.repackSeq.Add(1))
+
 	st.mu.Lock()
 	snap := st.db.Snapshot()
 	st.dirty = 0
+	queueWait := time.Since(st.enqueuedAt)
+	ingests := st.pendIngests
+	ingestsTotal := st.pendIngestN
+	st.pendIngests = nil
+	st.pendIngestN = 0
+	records := st.records
 	st.mu.Unlock()
+
+	d.rec.Observe(obs.DaemonQueueWaitHist, float64(queueWait.Microseconds()))
+	d.events.Append(drift.StreamEvent{
+		UnixUS: start.UnixMicro(), Kind: drift.EventRepackStart,
+		Program: st.name, Trace: trace,
+	})
+
+	// The drift measurement at snapshot time is part of the version's
+	// provenance: it says how stale the *previous* baseline had become
+	// when this build replaced it.
+	driftAtBuild := st.tracker.Score()
 
 	pa := &core.ProfileArtifact{
 		Schema:      core.ProfileArtifactSchema,
@@ -210,14 +344,31 @@ func (d *Daemon) repack(st *programState) {
 		ProfileKey:  d.cfg.ProfileKey(),
 		Phases:      snap,
 	}
-	encoded, err := d.buildVersion(st, pa)
+	prov := &core.Provenance{
+		Schema:        core.ProvenanceSchema,
+		Program:       st.name,
+		Trace:         trace,
+		ProgramHash:   st.hash,
+		Records:       records,
+		Ingests:       ingests,
+		IngestsTotal:  ingestsTotal,
+		DriftScore:    driftAtBuild.Composite,
+		DriftBaseline: driftAtBuild.BaselineVersion,
+		QueueWaitUS:   queueWait.Microseconds(),
+	}
+	encoded, err := d.buildVersion(st, pa, prov)
+	prov.BuildUS = time.Since(start).Microseconds()
 
+	version := 0
 	st.mu.Lock()
 	if err != nil {
 		st.lastErr = err.Error()
 	} else {
 		st.lastErr = ""
 		st.versions = append(st.versions, encoded)
+		version = len(st.versions)
+		prov.Version = version
+		st.provs = append(st.provs, prov)
 	}
 	st.pending = false
 	// Records that streamed in mid-repack re-arm the queue themselves
@@ -227,38 +378,77 @@ func (d *Daemon) repack(st *programState) {
 	d.rec.Observe(obs.DaemonRepackLatencyHist, float64(time.Since(start).Microseconds()))
 	d.rec.Count(obs.DaemonRepacksCounter, 1)
 	if err != nil {
+		d.events.Append(drift.StreamEvent{
+			UnixUS: time.Now().UnixMicro(), Kind: drift.EventRepackDone,
+			Program: st.name, Trace: trace, Detail: err.Error(),
+		})
 		// ErrNoPhases just means the stream is still too thin to package.
 		if !errors.Is(err, core.ErrNoPhases) {
 			d.logger.Warn("repack failed", "program", st.name, "err", err)
 		}
 		return
 	}
+
+	// The published version's snapshot becomes the new drift baseline:
+	// future windows measure against what is now actually deployed.
+	st.tracker.SetBaseline(snap, version)
+	d.publishDriftAggregate()
+	d.events.Append(drift.StreamEvent{
+		UnixUS: time.Now().UnixMicro(), Kind: drift.EventRepackDone,
+		Program: st.name, Trace: trace, N: int64(version), Score: driftAtBuild.Composite,
+	})
+	d.events.Append(drift.StreamEvent{
+		UnixUS: time.Now().UnixMicro(), Kind: drift.EventBaseline,
+		Program: st.name, Trace: trace, N: int64(version),
+	})
+
 	d.rec.Count(obs.DaemonVersionsCounter, 1)
 	d.logger.Info("repacked", "program", st.name,
-		"version", len(st.versions), "elapsed", time.Since(start).Round(time.Millisecond))
+		"version", version, "trace", trace,
+		"queue_wait", queueWait.Round(time.Microsecond),
+		"drift", fmt.Sprintf("%.3f", driftAtBuild.Composite),
+		"elapsed", time.Since(start).Round(time.Millisecond))
 }
 
-// buildVersion resumes the staged pipeline from pa and returns the
-// encoded PackageSet.
-func (d *Daemon) buildVersion(st *programState, pa *core.ProfileArtifact) ([]byte, error) {
+// buildVersion resumes the staged pipeline from pa, filling prov's
+// artifact hashes and stage spans, and returns the encoded PackageSet.
+func (d *Daemon) buildVersion(st *programState, pa *core.ProfileArtifact, prov *core.Provenance) ([]byte, error) {
 	clone := st.prog.Clone()
 	cloneImg, err := clone.Linearize()
 	if err != nil {
 		return nil, err
 	}
+	if h, err := pa.Hash(); err == nil {
+		prov.ProfileHash = h
+	}
+
+	stage := time.Now()
 	ra, err := core.RegionStage(d.cfg, cloneImg, pa)
+	prov.Spans = append(prov.Spans, core.SpanSummary{Name: "region_stage", US: time.Since(stage).Microseconds()})
 	if err != nil {
 		return nil, err
 	}
+	if h, err := ra.Hash(); err == nil {
+		prov.RegionHash = h
+	}
+
+	stage = time.Now()
 	set, err := core.PackageStage(d.cfg, clone, cloneImg, ra)
+	prov.Spans = append(prov.Spans, core.SpanSummary{Name: "package_stage", US: time.Since(stage).Microseconds()})
 	if err != nil {
 		return nil, err
 	}
 	set.Program = st.name
+
+	stage = time.Now()
 	var buf bytes.Buffer
 	if err := set.EncodeJSON(&buf); err != nil {
 		return nil, err
 	}
+	if h, err := set.Hash(); err == nil {
+		prov.PackageHash = h
+	}
+	prov.Spans = append(prov.Spans, core.SpanSummary{Name: "encode", US: time.Since(stage).Microseconds()})
 	return buf.Bytes(), nil
 }
 
@@ -282,6 +472,29 @@ func (st *programState) version(sel string) ([]byte, int, error) {
 		return nil, 0, fmt.Errorf("version %d not yet built (have %d)", v, n)
 	}
 	return st.versions[v-1], v, nil
+}
+
+// provenance returns the build record for a 1-based version number
+// ("latest" for the newest). Records exist for exactly the published
+// versions, so the same selectors resolve.
+func (st *programState) provenance(sel string) (*core.Provenance, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := len(st.provs)
+	if sel == "latest" {
+		if n == 0 {
+			return nil, fmt.Errorf("no versions yet")
+		}
+		return st.provs[n-1], nil
+	}
+	var v int
+	if _, err := fmt.Sscanf(sel, "%d", &v); err != nil || v < 1 {
+		return nil, fmt.Errorf("bad version %q", sel)
+	}
+	if v > n {
+		return nil, fmt.Errorf("version %d not yet built (have %d)", v, n)
+	}
+	return st.provs[v-1], nil
 }
 
 // Close stops accepting repacks and waits for in-flight ones to finish.

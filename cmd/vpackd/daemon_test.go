@@ -15,10 +15,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/drift"
 	"repro/internal/hsd"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
+
+// testDriftCfg sizes the drift trackers small enough that the handful of
+// records a test streams closes windows.
+var testDriftCfg = drift.Config{Window: 2, Ring: 16, Recent: 2}
 
 // newTestDaemon builds a one-benchmark daemon at scale 1 (the test
 // scale the rest of the repo uses) with a small batch so a handful of
@@ -27,7 +32,7 @@ func newTestDaemon(t *testing.T, batch int) (*Daemon, *obs.Recorder) {
 	t.Helper()
 	rec := obs.NewRecorder()
 	d, err := NewDaemon(core.ScaledConfig(), []string{"m88ksim"}, 1, 2, 4, batch,
-		rec, slog.New(slog.DiscardHandler))
+		testDriftCfg, rec, slog.New(slog.DiscardHandler))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +191,7 @@ func TestDaemonUnknownProgram(t *testing.T) {
 		t.Fatalf("lookup error %v, want ErrUnknownProgram", err)
 	}
 	_, err := NewDaemon(core.ScaledConfig(), []string{"nope"}, 1, 1, 1, 1,
-		obs.NewRecorder(), slog.New(slog.DiscardHandler))
+		testDriftCfg, obs.NewRecorder(), slog.New(slog.DiscardHandler))
 	if !errors.Is(err, ErrUnknownProgram) {
 		t.Fatalf("NewDaemon error %v, want ErrUnknownProgram", err)
 	}
@@ -221,8 +226,54 @@ func TestDaemonConcurrentStreams(t *testing.T) {
 
 	const streams = 1000
 	perStream := spots[:1]
-	var wg sync.WaitGroup
+	var wg, readWG sync.WaitGroup
 	codes := make([]int, streams)
+	// Concurrent observability readers ride along with the ingest load:
+	// the bounded event ring and the drift/timeline endpoints must stay
+	// consistent (and race-clean) without ever blocking ingest.
+	const readers = 8
+	readerErrs := make([]error, readers)
+	stop := make(chan struct{})
+	for rd := 0; rd < readers; rd++ {
+		readWG.Add(1)
+		go func(rd int) {
+			defer readWG.Done()
+			var cursor int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := get(h, fmt.Sprintf("/v1/events?after=%d&limit=64", cursor))
+				if w.Code != http.StatusOK {
+					readerErrs[rd] = fmt.Errorf("/v1/events: %d", w.Code)
+					return
+				}
+				var ev eventsReply
+				if err := json.Unmarshal(w.Body.Bytes(), &ev); err != nil {
+					readerErrs[rd] = err
+					return
+				}
+				for i := 1; i < len(ev.Events); i++ {
+					if ev.Events[i].Seq != ev.Events[i-1].Seq+1 {
+						readerErrs[rd] = fmt.Errorf("non-contiguous event seqs %d -> %d",
+							ev.Events[i-1].Seq, ev.Events[i].Seq)
+						return
+					}
+				}
+				cursor = ev.Next
+				if w := get(h, "/v1/drift/m88ksim"); w.Code != http.StatusOK {
+					readerErrs[rd] = fmt.Errorf("/v1/drift: %d", w.Code)
+					return
+				}
+				if w := get(h, "/v1/timeline/m88ksim"); w.Code != http.StatusOK {
+					readerErrs[rd] = fmt.Errorf("/v1/timeline: %d", w.Code)
+					return
+				}
+			}
+		}(rd)
+	}
 	for s := 0; s < streams; s++ {
 		wg.Add(1)
 		go func(s int) {
@@ -231,6 +282,13 @@ func TestDaemonConcurrentStreams(t *testing.T) {
 		}(s)
 	}
 	wg.Wait()
+	close(stop)
+	readWG.Wait()
+	for rd, err := range readerErrs {
+		if err != nil {
+			t.Errorf("reader %d: %v", rd, err)
+		}
+	}
 	for s, code := range codes {
 		if code != http.StatusOK {
 			t.Fatalf("stream %d: status %d", s, code)
@@ -256,7 +314,7 @@ func TestDaemonConcurrentStreams(t *testing.T) {
 func TestDaemonCloseStopsQueue(t *testing.T) {
 	rec := obs.NewRecorder()
 	d, err := NewDaemon(core.ScaledConfig(), []string{"m88ksim"}, 1, 1, 1, 1,
-		rec, slog.New(slog.DiscardHandler))
+		testDriftCfg, rec, slog.New(slog.DiscardHandler))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,6 +356,280 @@ func TestProgramStateVersionSelection(t *testing.T) {
 	empty := &programState{}
 	if _, _, err := empty.version("latest"); err == nil {
 		t.Error("latest on empty history should fail")
+	}
+}
+
+// shiftSpots synthesizes a phase shift from captured records: the first
+// ~40% of each record's branches are dropped (hot-set change) and the
+// survivors' taken counts are flipped (bias flips). The PCs stay real,
+// so the daemon's phase database still accepts the records.
+func shiftSpots(spots []hotSpotWire) []hotSpotWire {
+	out := make([]hotSpotWire, len(spots))
+	for i, s := range spots {
+		ns := s
+		drop := len(s.Branches) * 2 / 5
+		ns.Branches = make([]branchWire, 0, len(s.Branches)-drop)
+		for _, b := range s.Branches[drop:] {
+			b.Taken = b.Exec - b.Taken
+			ns.Branches = append(ns.Branches, b)
+		}
+		out[i] = ns
+	}
+	return out
+}
+
+// postSpotsTrace is postSpots with a client-supplied trace header.
+func postSpotsTrace(t *testing.T, h http.Handler, program string, hash uint64, spots []hotSpotWire, trace string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(profilePost{ProgramHash: hash, HotSpots: spots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/profiles/"+program, bytes.NewReader(body))
+	req.Header.Set(TraceHeader, trace)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestDaemonDriftEndpoints exercises the drift observability surface
+// end to end: stream → repack → baseline → /v1/drift, /v1/timeline,
+// /v1/events and the always-present vp_drift_* series on /metrics.
+func TestDaemonDriftEndpoints(t *testing.T) {
+	d, _ := newTestDaemon(t, 3)
+	h := d.Handler()
+	spots := captureSpots(t, d, "m88ksim")
+
+	// The drift series exist before any traffic — the no-gaps contract.
+	body := get(h, "/metrics").Body.String()
+	for _, name := range append(append(obs.DriftCounters(), obs.DriftGauges()...), obs.DriftHistograms()...) {
+		if !strings.Contains(body, telemetry.MetricName(name)) {
+			t.Errorf("/metrics missing %s before traffic", telemetry.MetricName(name))
+		}
+	}
+	if !strings.Contains(body, telemetry.MetricName(obs.DaemonQueueWaitHist)) {
+		t.Errorf("/metrics missing %s before traffic", telemetry.MetricName(obs.DaemonQueueWaitHist))
+	}
+
+	for i := 0; i < 3; i++ {
+		postSpots(t, h, "m88ksim", 0, spots)
+	}
+	awaitVersion(t, h, "m88ksim")
+
+	// /v1/drift reports an enabled tracker with a published baseline.
+	w := get(h, "/v1/drift/m88ksim")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/drift: %d: %s", w.Code, w.Body.String())
+	}
+	var status drift.Status
+	if err := json.Unmarshal(w.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if !status.Enabled || status.Program != "m88ksim" {
+		t.Fatalf("drift status = %+v", status)
+	}
+	if status.BaselineVersion < 1 {
+		t.Fatalf("no baseline after publish: %+v", status)
+	}
+	if status.Samples != int64(3*len(spots)) {
+		t.Fatalf("drift samples = %d, want %d", status.Samples, 3*len(spots))
+	}
+
+	// /v1/timeline retains closed windows.
+	w = get(h, "/v1/timeline/m88ksim")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/timeline: %d", w.Code)
+	}
+	var tl timelineReply
+	if err := json.Unmarshal(w.Body.Bytes(), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Windows) == 0 {
+		t.Fatal("timeline empty after streaming")
+	}
+	if tl.Windows[0].Records != testDriftCfg.Window {
+		t.Fatalf("window records = %d, want %d", tl.Windows[0].Records, testDriftCfg.Window)
+	}
+
+	// /v1/events carries the full chain: ingests, windows, repacks,
+	// baseline publishes — and the cursor paginates.
+	w = get(h, "/v1/events")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/events: %d", w.Code)
+	}
+	var ev eventsReply
+	if err := json.Unmarshal(w.Body.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, e := range ev.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{drift.EventIngest, drift.EventWindow, drift.EventRepackStart, drift.EventRepackDone, drift.EventBaseline} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q event in stream (have %v)", k, kinds)
+		}
+	}
+	w = get(h, fmt.Sprintf("/v1/events?after=%d&limit=2", ev.Events[0].Seq))
+	var page eventsReply
+	if err := json.Unmarshal(w.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 2 || page.Events[0].Seq != ev.Events[0].Seq+1 {
+		t.Fatalf("cursor page = %+v", page.Events)
+	}
+	if w := get(h, "/v1/events?after=x"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad cursor accepted: %d", w.Code)
+	}
+
+	// Unknown programs 404 on every new endpoint.
+	for _, path := range []string{"/v1/drift/nope", "/v1/timeline/nope", "/v1/provenance/nope/latest"} {
+		if w := get(h, path); w.Code != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", path, w.Code)
+		}
+	}
+
+	// After traffic the queue-wait histogram has samples and the
+	// per-program drift series exist.
+	body = get(h, "/metrics").Body.String()
+	if !strings.Contains(body, telemetry.MetricName(obs.DaemonQueueWaitHist)+"_count") {
+		t.Error("queue-wait histogram not rendered")
+	}
+	if !strings.Contains(body, telemetry.MetricName(obs.DriftScoreGauge+".m88ksim")) {
+		t.Error("per-program drift score series missing")
+	}
+}
+
+// TestDaemonProvenanceChain checks that a published version links back
+// to the ingest traces that fed it and the artifact hashes it produced.
+func TestDaemonProvenanceChain(t *testing.T) {
+	d, _ := newTestDaemon(t, 3)
+	h := d.Handler()
+	spots := captureSpots(t, d, "m88ksim")
+
+	// Client-scoped traces: the daemon must chain these, not invent IDs.
+	traces := []string{"client-alpha", "client-beta", "client-gamma"}
+	for _, tr := range traces {
+		w := postSpotsTrace(t, h, "m88ksim", 0, spots, tr)
+		if w.Code != http.StatusOK {
+			t.Fatalf("POST: %d", w.Code)
+		}
+		if got := w.Header().Get(TraceHeader); got != tr {
+			t.Fatalf("ingest echoed trace %q, want %q", got, tr)
+		}
+		var ack profileAck
+		if err := json.Unmarshal(w.Body.Bytes(), &ack); err != nil {
+			t.Fatal(err)
+		}
+		if ack.Trace != tr {
+			t.Fatalf("ack trace %q, want %q", ack.Trace, tr)
+		}
+	}
+	pkg := awaitVersion(t, h, "m88ksim")
+
+	w := get(h, "/v1/provenance/m88ksim/latest")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET provenance: %d: %s", w.Code, w.Body.String())
+	}
+	prov, err := core.DecodeProvenance(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Program != "m88ksim" || prov.Version < 1 {
+		t.Fatalf("provenance = %+v", prov)
+	}
+	if !strings.HasPrefix(prov.Trace, "rpk-") {
+		t.Fatalf("repack trace %q", prov.Trace)
+	}
+	got := make(map[string]bool)
+	for _, ing := range prov.Ingests {
+		got[ing.Trace] = true
+		if ing.Records != len(spots) {
+			t.Fatalf("ingest ref %+v, want %d records", ing, len(spots))
+		}
+	}
+	if !got[traces[0]] {
+		t.Fatalf("version 1 provenance lost ingest %q: %+v", traces[0], prov.Ingests)
+	}
+	if prov.ProgramHash != d.programs["m88ksim"].hash {
+		t.Fatalf("provenance program hash %016x, shard %016x", prov.ProgramHash, d.programs["m88ksim"].hash)
+	}
+	if prov.ProfileHash == 0 || prov.RegionHash == 0 || prov.PackageHash == 0 {
+		t.Fatalf("artifact hashes missing: %+v", prov)
+	}
+	if prov.QueueWaitUS < 0 || prov.BuildUS <= 0 {
+		t.Fatalf("timings: %+v", prov)
+	}
+	if len(prov.Spans) < 2 {
+		t.Fatalf("stage spans missing: %+v", prov.Spans)
+	}
+
+	// The artifact chain is consistent with what's actually served: the
+	// published PackageSet's content hash matches the provenance record.
+	set, err := core.DecodePackageSet(bytes.NewReader(pkg.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setHash, err := set.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setHash != prov.PackageHash {
+		t.Fatalf("served set hash %016x, provenance %016x", setHash, prov.PackageHash)
+	}
+
+	// The package response advertises its provenance in headers.
+	if got := pkg.Header().Get(TraceHeader); got != prov.Trace {
+		t.Fatalf("package trace header %q, provenance trace %q", got, prov.Trace)
+	}
+	if pkg.Header().Get("Vpackd-Drift-Score") == "" {
+		t.Fatal("package response missing drift-score header")
+	}
+}
+
+// TestDaemonDriftScoreRises is the tentpole's acceptance check at unit
+// scale: a phase shift in the stream demonstrably moves the score.
+func TestDaemonDriftScoreRises(t *testing.T) {
+	d, _ := newTestDaemon(t, 3)
+	h := d.Handler()
+	spots := captureSpots(t, d, "m88ksim")
+
+	for i := 0; i < 3; i++ {
+		postSpots(t, h, "m88ksim", 0, spots)
+	}
+	awaitVersion(t, h, "m88ksim")
+
+	var before drift.Status
+	if err := json.Unmarshal(get(h, "/v1/drift/m88ksim").Body.Bytes(), &before); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep the stream identical: the score stays low.
+	postSpots(t, h, "m88ksim", 0, spots)
+	var stable drift.Status
+	if err := json.Unmarshal(get(h, "/v1/drift/m88ksim").Body.Bytes(), &stable); err != nil {
+		t.Fatal(err)
+	}
+	if stable.Score.Composite > 0.3 {
+		t.Fatalf("stable stream scored %.3f", stable.Score.Composite)
+	}
+
+	// Shift the phase: the composite must rise well past the stable level
+	// and the peak must record it.
+	postSpots(t, h, "m88ksim", 0, shiftSpots(spots))
+	var after drift.Status
+	if err := json.Unmarshal(get(h, "/v1/drift/m88ksim").Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Score.Composite <= stable.Score.Composite+0.2 {
+		t.Fatalf("shift did not move the score: stable %.3f, shifted %.3f",
+			stable.Score.Composite, after.Score.Composite)
+	}
+	if after.Score.Peak < after.Score.Composite {
+		t.Fatalf("peak %.3f below composite %.3f", after.Score.Peak, after.Score.Composite)
+	}
+	if after.Score.BiasFlips == 0 {
+		t.Fatal("flipped stream reported no bias flips")
 	}
 }
 

@@ -7,12 +7,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/hsd"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
+
+// TraceHeader carries a request-scoped trace ID: clients may set it on
+// ingest POSTs (the daemon mints an "ing-" ID otherwise), and the daemon
+// echoes it on ingest responses and stamps package/provenance responses
+// with the repack trace that built the served version.
+const TraceHeader = "Vpackd-Trace"
 
 // branchWire is one branch of a streamed hot-spot record.
 type branchWire struct {
@@ -66,10 +74,13 @@ type profilePost struct {
 	HotSpots    []hotSpotWire `json:"hot_spots"`
 }
 
-// profileAck is the ingest response.
+// profileAck is the ingest response. Trace echoes the request's trace ID
+// (client-supplied or daemon-minted), the handle for following the
+// records through /v1/events and into a version's provenance chain.
 type profileAck struct {
-	Records int64 `json:"records"`
-	Queued  bool  `json:"queued"`
+	Records int64  `json:"records"`
+	Queued  bool   `json:"queued"`
+	Trace   string `json:"trace"`
 }
 
 // programInfo is one row of GET /v1/programs.
@@ -82,6 +93,23 @@ type programInfo struct {
 	Versions    int    `json:"versions"`
 	Pending     bool   `json:"pending"`
 	LastError   string `json:"last_error,omitempty"`
+	// DriftScore is the program's live composite drift score (0 when
+	// drift tracking is disabled or no baseline is published yet).
+	DriftScore float64 `json:"drift_score"`
+}
+
+// timelineReply is GET /v1/timeline/{program}'s body.
+type timelineReply struct {
+	Program string                 `json:"program"`
+	Windows []drift.WindowSummary  `json:"windows"`
+}
+
+// eventsReply is GET /v1/events' body: the retained events after the
+// cursor, plus the ring cursors for resuming and gap detection.
+type eventsReply struct {
+	Events   []drift.StreamEvent `json:"events"`
+	Earliest int64               `json:"earliest"`
+	Next     int64               `json:"next"`
 }
 
 // Handler builds the daemon's full route table: the /v1 API plus the
@@ -89,6 +117,10 @@ type programInfo struct {
 func (d *Daemon) Handler() http.Handler {
 	tsrv := telemetry.NewServer(d.rec)
 	tsrv.AlwaysCounters(obs.DaemonCounters()...)
+	tsrv.AlwaysCounters(obs.DriftCounters()...)
+	tsrv.AlwaysGauges(obs.DriftGauges()...)
+	tsrv.AlwaysHistograms(obs.DaemonHistograms()...)
+	tsrv.AlwaysHistograms(obs.DriftHistograms()...)
 	tsrv.SetReady(true)
 
 	mux := http.NewServeMux()
@@ -96,6 +128,10 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/programs", d.handlePrograms)
 	mux.HandleFunc("POST /v1/profiles/{program}", d.handleProfile)
 	mux.HandleFunc("GET /v1/packages/{program}/{version}", d.handlePackage)
+	mux.HandleFunc("GET /v1/provenance/{program}/{version}", d.handleProvenance)
+	mux.HandleFunc("GET /v1/drift/{program}", d.handleDrift)
+	mux.HandleFunc("GET /v1/timeline/{program}", d.handleTimeline)
+	mux.HandleFunc("GET /v1/events", d.handleEvents)
 	return mux
 }
 
@@ -103,6 +139,7 @@ func (d *Daemon) handlePrograms(w http.ResponseWriter, _ *http.Request) {
 	var list []programInfo
 	for _, b := range orderedNames(d.programs) {
 		st := d.programs[b]
+		score := st.tracker.Score()
 		st.mu.Lock()
 		list = append(list, programInfo{
 			Program:     st.name,
@@ -113,6 +150,7 @@ func (d *Daemon) handlePrograms(w http.ResponseWriter, _ *http.Request) {
 			Versions:    len(st.versions),
 			Pending:     st.pending,
 			LastError:   st.lastErr,
+			DriftScore:  score.Composite,
 		})
 		st.mu.Unlock()
 	}
@@ -136,10 +174,12 @@ func (d *Daemon) handleProfile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	d.record(st, post.HotSpots)
+	trace := d.ingestTrace(r.Header.Get(TraceHeader))
+	d.record(st, post.HotSpots, trace)
 	st.mu.Lock()
-	ack := profileAck{Records: st.records, Queued: st.pending}
+	ack := profileAck{Records: st.records, Queued: st.pending, Trace: trace}
 	st.mu.Unlock()
+	w.Header().Set(TraceHeader, trace)
 	writeJSON(w, ack)
 }
 
@@ -156,7 +196,78 @@ func (d *Daemon) handlePackage(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Vpackd-Version", fmt.Sprint(v))
+	// Surface the version's provenance in headers (the body stays a bare
+	// PackageSet for decoder compatibility); the full chain is one GET
+	// away at /v1/provenance/{program}/{version}.
+	if prov, err := st.provenance(fmt.Sprint(v)); err == nil {
+		w.Header().Set(TraceHeader, prov.Trace)
+		w.Header().Set("Vpackd-Drift-Score", strconv.FormatFloat(prov.DriftScore, 'f', 4, 64))
+	}
 	w.Write(data)
+}
+
+func (d *Daemon) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	st, err := d.lookup(r.PathValue("program"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	prov, err := st.provenance(r.PathValue("version"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("vpackd: %s: %v", st.name, err), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(TraceHeader, prov.Trace)
+	if err := prov.EncodeJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *Daemon) handleDrift(w http.ResponseWriter, r *http.Request) {
+	st, err := d.lookup(r.PathValue("program"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st.tracker.Status())
+}
+
+func (d *Daemon) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	st, err := d.lookup(r.PathValue("program"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, timelineReply{Program: st.name, Windows: st.tracker.Timeline()})
+}
+
+// handleEvents serves the bounded event ring with cursor pagination:
+// ?after=N resumes past seq N, ?limit=M caps the page.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var after int64
+	var limit int
+	if s := r.URL.Query().Get("after"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("vpackd: bad after %q", s), http.StatusBadRequest)
+			return
+		}
+		after = v
+	}
+	if s := r.URL.Query().Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("vpackd: bad limit %q", s), http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+	events, earliest, next := d.events.Since(after, limit)
+	if events == nil {
+		events = []drift.StreamEvent{}
+	}
+	writeJSON(w, eventsReply{Events: events, Earliest: earliest, Next: next})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

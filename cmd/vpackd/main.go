@@ -6,18 +6,30 @@
 // PackageSets back out. This is the paper's vacuum-packing loop run as
 // a service: detection happens at the clients, packing here.
 //
+// Every ingest and repack is request-scoped: profile POSTs carry (or are
+// assigned) a Vpackd-Trace ID that flows through the queue into the
+// published version's provenance record, and per-program drift trackers
+// score the live stream against the snapshot behind the latest published
+// packages (vp_drift_* metrics, /v1/drift, /v1/timeline, /v1/events).
+//
 // API (JSON):
 //
-//	GET  /v1/programs                       registered programs + stats
-//	POST /v1/profiles/{program}             stream hot-spot records
-//	GET  /v1/packages/{program}/{version}   fetch a PackageSet ("latest" ok)
+//	GET  /v1/programs                         registered programs + stats
+//	POST /v1/profiles/{program}               stream hot-spot records
+//	GET  /v1/packages/{program}/{version}     fetch a PackageSet ("latest" ok)
+//	GET  /v1/provenance/{program}/{version}   a version's build record
+//	GET  /v1/drift/{program}                  live drift status + score
+//	GET  /v1/timeline/{program}               retained drift windows
+//	GET  /v1/events?after=N&limit=M           bounded event ring (cursor)
 //	GET  /metrics, /trace, /healthz, /readyz, /debug/pprof/...
 //
 // Usage:
 //
 //	vpackd -addr :8090
 //	vpackd -bench m88ksim,vortex -batch 50 -workers 2
+//	vpackd -driftwindow 8 -driftring 32        # drift tracker sizing
 //	vpbench -daemon http://localhost:8090      # load generator
+//	vpbench -daemon URL -phaseshift            # drift-inducing load
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -49,14 +62,15 @@ func main() {
 		workers  = flag.Int("workers", 2, "repack worker goroutines")
 		queueCap = flag.Int("queue", 8, "bounded repack queue capacity")
 		batch    = flag.Int("batch", 25, "hot-spot records accumulated before a shard is re-queued for repacking")
+		driftf   = cliflags.DriftFlags(flag.CommandLine)
 		verifyOn = cliflags.VerifyFlag(flag.CommandLine)
 		logf     = cliflags.LogFlags(flag.CommandLine, "no daemon logs (same as -log off)")
 	)
 	flag.Parse()
-	os.Exit(run(*addr, *addrFile, *benches, *scale, *workers, *queueCap, *batch, *verifyOn, logf.Mode()))
+	os.Exit(run(*addr, *addrFile, *benches, *scale, *workers, *queueCap, *batch, driftf.Config(), *verifyOn, logf.Mode()))
 }
 
-func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch int, verify bool, logMode string) int {
+func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, verify bool, logMode string) int {
 	rec := obs.NewRecorder()
 	logger, err := telemetry.NewLogger(logMode, os.Stderr, rec)
 	if err != nil {
@@ -67,7 +81,7 @@ func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch i
 	cfg := core.ScaledConfig()
 	cfg.Verify = verify
 
-	d, err := NewDaemon(cfg, splitList(benches), scale, workers, queueCap, batch, rec, logger)
+	d, err := NewDaemon(cfg, splitList(benches), scale, workers, queueCap, batch, driftCfg, rec, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpackd:", err)
 		if errors.Is(err, ErrUnknownProgram) {

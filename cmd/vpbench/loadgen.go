@@ -4,8 +4,11 @@
 // the daemon's registered programs, captures genuine detector output by
 // profiling each benchmark locally, streams the records over -streams
 // concurrent connections, waits for the daemon to publish a package
-// version per program, and finally scrapes /metrics to confirm the
-// daemon's queue/latency series are exported.
+// version per program, and finally scrapes /metrics and exits nonzero —
+// naming every missing series — unless the daemon's queue/latency and
+// drift series are all exported. With -phaseshift it additionally
+// synthesizes a phase shift (hot-set drop + bias flips) after the
+// baseline publishes and asserts the daemon's drift score rises.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/drift"
 	"repro/internal/hsd"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
@@ -60,13 +64,13 @@ type wireProgram struct {
 // many small requests (like real trickling clients), not one big one.
 const postChunk = 10
 
-func runLoadgen(url string, streams, records int, benches, logMode string) int {
+func runLoadgen(url string, streams, records int, benches, logMode string, phaseShift bool, driftCfg drift.Config) int {
 	logger, err := telemetry.NewLogger(logMode, os.Stderr, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		return 2
 	}
-	if err := loadgen(url, streams, records, benches, logger); err != nil {
+	if err := loadgen(url, streams, records, benches, logger, phaseShift, driftCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench: daemon:", err)
 		if errors.Is(err, core.ErrStaleArtifact) {
 			fmt.Fprintln(os.Stderr, "vpbench: hint: the daemon serves a different build of the program; restart vpackd with matching -bench/-scale")
@@ -76,7 +80,7 @@ func runLoadgen(url string, streams, records int, benches, logMode string) int {
 	return 0
 }
 
-func loadgen(url string, streams, records int, benches string, logger *slog.Logger) error {
+func loadgen(url string, streams, records int, benches string, logger *slog.Logger, phaseShift bool, driftCfg drift.Config) error {
 	url = strings.TrimSuffix(url, "/")
 	if streams < 1 {
 		streams = 1
@@ -107,11 +111,13 @@ func loadgen(url string, streams, records int, benches string, logger *slog.Logg
 		return fmt.Errorf("daemon at %s serves no matching programs", url)
 	}
 
+	captured := make(map[string][]wireHotSpot, len(progs))
 	for _, p := range progs {
 		spots, err := captureSpots(p)
 		if err != nil {
 			return err
 		}
+		captured[p.Program] = spots
 		logger.Info("captured", "program", p.Program, "hot_spots", len(spots))
 		if err := streamSpots(client, url, p, spots, streams, records, logger); err != nil {
 			return err
@@ -127,12 +133,100 @@ func loadgen(url string, streams, records int, benches string, logger *slog.Logg
 			"packages", len(set.Packages), "code_growth", fmt.Sprintf("%.3f", set.CodeGrowth()))
 	}
 
+	var peak float64
+	if phaseShift {
+		var err error
+		if peak, err = runPhaseShift(client, url, progs, captured, streams, driftCfg, logger); err != nil {
+			return err
+		}
+	}
+
 	if err := checkMetrics(client, url); err != nil {
 		return err
 	}
-	fmt.Printf("daemon ok: %d programs, %d records x %d streams each, packages fetched, metrics exported\n",
-		len(progs), records, streams)
+	if phaseShift {
+		fmt.Printf("daemon ok: %d programs, %d records x %d streams each, packages fetched, phase shift drove drift peak to %.3f, metrics exported\n",
+			len(progs), records, streams, peak)
+	} else {
+		fmt.Printf("daemon ok: %d programs, %d records x %d streams each, packages fetched, metrics exported\n",
+			len(progs), records, streams)
+	}
 	return nil
+}
+
+// shiftWireSpots synthesizes a phase shift from captured records: the
+// first ~40% of each record's branches drop out of the hot set and the
+// survivors' taken counts flip. PCs stay real, so the daemon's database
+// accepts the records — only their phase shape changes.
+func shiftWireSpots(spots []wireHotSpot) []wireHotSpot {
+	out := make([]wireHotSpot, len(spots))
+	for i, s := range spots {
+		ns := s
+		drop := len(s.Branches) * 2 / 5
+		ns.Branches = make([]wireBranch, 0, len(s.Branches)-drop)
+		for _, b := range s.Branches[drop:] {
+			b.Taken = b.Exec - b.Taken
+			ns.Branches = append(ns.Branches, b)
+		}
+		out[i] = ns
+	}
+	return out
+}
+
+// runPhaseShift streams synthesized shifted records for every program
+// and polls /v1/drift until the daemon's score demonstrably rises,
+// returning the highest peak observed. The burst is sized off the drift
+// window so enough windows close to move the composite; pass the same
+// -driftwindow the daemon runs with.
+func runPhaseShift(client *http.Client, url string, progs []wireProgram, captured map[string][]wireHotSpot, streams int, driftCfg drift.Config, logger *slog.Logger) (float64, error) {
+	if !driftCfg.Enabled() {
+		return 0, fmt.Errorf("-phaseshift needs drift tracking enabled (-driftwindow/-driftring > 0)")
+	}
+	// Enough records to close several windows per program even if some
+	// interleave with the tail of the baseline stream.
+	burst := driftCfg.Window * 8
+	var best float64
+	for _, p := range progs {
+		shifted := shiftWireSpots(captured[p.Program])
+		if err := streamSpots(client, url, p, shifted, streams, burst, logger); err != nil {
+			return 0, fmt.Errorf("%s: shifted stream: %w", p.Program, err)
+		}
+		peak, err := awaitDrift(client, url, p.Program)
+		if err != nil {
+			return 0, err
+		}
+		logger.Info("drift moved", "program", p.Program, "peak", fmt.Sprintf("%.3f", peak))
+		if peak > best {
+			best = peak
+		}
+	}
+	return best, nil
+}
+
+// driftRiseThreshold is what "demonstrably moved" means for -phaseshift:
+// the synthesized shift (40% hot-set drop + full bias flip) saturates
+// the composite near 1.0 on a quiet stream, so well past this.
+const driftRiseThreshold = 0.2
+
+// awaitDrift polls the program's drift status until the peak score
+// crosses driftRiseThreshold (the tracker's peak never resets, so a
+// concurrent repack re-baselining cannot hide the excursion).
+func awaitDrift(client *http.Client, url, program string) (float64, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	var last drift.Status
+	for {
+		if err := getJSON(client, url+"/v1/drift/"+program, &last); err != nil {
+			return 0, fmt.Errorf("%s: drift status: %w", program, err)
+		}
+		if last.Score.Peak > driftRiseThreshold {
+			return last.Score.Peak, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("%s: drift score did not rise above %.2f after 60s (peak %.3f over %d windows; do the daemon's -driftwindow/-driftring match?)",
+				program, driftRiseThreshold, last.Score.Peak, last.Windows)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // captureSpots rebuilds the advertised benchmark input and profiles it
@@ -282,8 +376,14 @@ func awaitPackage(client *http.Client, url string, p wireProgram) (*core.Package
 	}
 }
 
-// checkMetrics scrapes /metrics and confirms the daemon's queue-depth
-// gauge and repack-latency histogram series are exported.
+// checkMetrics scrapes /metrics and asserts every daemon series the
+// serving contract promises: queue depth/wait, repack latency, record
+// counters, and (when drift tracking is on) the vp_drift_* series. All
+// failures are collected into one error naming each missing series, so a
+// failing run says exactly what broke instead of the first thing it
+// noticed; the caller exits nonzero on it. The drift series are part of
+// the always-present contract, so they must exist even when the daemon
+// runs with drift tracking disabled.
 func checkMetrics(client *http.Client, url string) error {
 	resp, err := client.Get(url + "/metrics")
 	if err != nil {
@@ -294,14 +394,25 @@ func checkMetrics(client *http.Client, url string) error {
 	if err != nil {
 		return err
 	}
-	for _, series := range []string{
-		telemetry.MetricName(obs.DaemonQueueDepthGauge),
-		telemetry.MetricName(obs.DaemonRepackLatencyHist),
-		telemetry.MetricName(obs.DaemonRecordsCounter),
-	} {
-		if !strings.Contains(string(body), series) {
-			return fmt.Errorf("/metrics is missing the %s series", series)
+	want := []string{
+		obs.DaemonQueueDepthGauge,
+		obs.DaemonRepackLatencyHist,
+		obs.DaemonQueueWaitHist,
+		obs.DaemonRecordsCounter,
+		obs.DaemonQueueRejectedCounter,
+	}
+	want = append(want, obs.DriftCounters()...)
+	want = append(want, obs.DriftGauges()...)
+	want = append(want, obs.DriftHistograms()...)
+	var missing []string
+	for _, name := range want {
+		if series := telemetry.MetricName(name); !strings.Contains(string(body), series) {
+			missing = append(missing, series)
 		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("metrics assertion failed: /metrics is missing %d series: %s",
+			len(missing), strings.Join(missing, ", "))
 	}
 	return nil
 }

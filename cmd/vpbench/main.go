@@ -24,6 +24,9 @@
 //	vpbench -verifyoverhead # extra verify-on run, overhead recorded in -benchjson
 //	vpbench -daemon URL     # load generator: stream hot-spot profiles to vpackd
 //	                        # (-streams, -records size the load; see loadgen.go)
+//	vpbench -daemon URL -phaseshift  # then shift the phase and assert the
+//	                        # daemon's drift score rises (-driftwindow sizes
+//	                        # the shifted burst; match the daemon's flag)
 package main
 
 import (
@@ -113,11 +116,13 @@ func main() {
 		daemonURL  = flag.String("daemon", "", "load-generator mode: stream hot-spot profiles to a running vpackd at `url` instead of running the suite")
 		streams    = flag.Int("streams", 8, "concurrent profile streams in -daemon mode")
 		records    = flag.Int("records", 100, "total hot-spot records to stream in -daemon mode")
+		phaseShift = flag.Bool("phaseshift", false, "in -daemon mode, follow the stream with a synthesized phase shift and assert the daemon's drift score rises")
+		driftf     = cliflags.DriftFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
 	if *daemonURL != "" {
-		os.Exit(runLoadgen(*daemonURL, *streams, *records, *benches, logf.Mode()))
+		os.Exit(runLoadgen(*daemonURL, *streams, *records, *benches, logf.Mode(), *phaseShift, driftf.Config()))
 	}
 
 	if *cpuprofile != "" {

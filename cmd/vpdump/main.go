@@ -8,8 +8,19 @@
 //	vpdump -bench m88ksim -fn simulate -phase 0        # region temperatures
 //	vpdump -bench m88ksim -pkg 0                       # extracted package
 //	vpdump -asm prog.vpasm -fn main -phase 0
+//	vpdump -bench m88ksim -drift                       # self-baselined drift report
+//	vpdump -bench m88ksim -drift -driftshift           # ...with an induced phase shift
 //
-// Pipe the output to `dot -Tsvg`.
+// Pipe the DOT output to `dot -Tsvg`. -drift prints a text report
+// instead: the program is profiled once, half of the detected hot spots
+// (interleaved) build a phase database whose snapshot becomes the drift
+// baseline (what vpackd does at each repack), and the other half is
+// replayed through a drift tracker sized by the shared
+// -driftwindow/-driftring knobs. A stable replay keeps the divergence
+// and bias-flip axes near zero (windows straddling the program's own
+// phase transitions may still cross the 30% filter rule); -driftshift
+// replays a synthetically phase-shifted stream and every axis rises —
+// the offline twin of `vpbench -daemon URL -phaseshift`.
 package main
 
 import (
@@ -89,13 +100,16 @@ func logStageStats(t *obs.Trace) {
 
 func main() {
 	var (
-		asmPath = flag.String("asm", "", "dump a hand-written VPIR assembly file")
-		bench   = flag.String("bench", "m88ksim", "benchmark name")
-		input   = flag.String("input", "A", "input name")
-		fnName  = flag.String("fn", "", "function to dump (default: hottest region function)")
-		phase   = flag.Int("phase", -1, "overlay this phase's region temperatures")
-		pkgIdx = flag.Int("pkg", -1, "dump the Nth extracted package instead")
-		logf   = cliflags.LogFlags(flag.CommandLine, "suppress profiling/stage diagnostics (same as -log off)")
+		asmPath    = flag.String("asm", "", "dump a hand-written VPIR assembly file")
+		bench      = flag.String("bench", "m88ksim", "benchmark name")
+		input      = flag.String("input", "A", "input name")
+		fnName     = flag.String("fn", "", "function to dump (default: hottest region function)")
+		phase      = flag.Int("phase", -1, "overlay this phase's region temperatures")
+		pkgIdx     = flag.Int("pkg", -1, "dump the Nth extracted package instead")
+		driftOn    = flag.Bool("drift", false, "print a self-baselined drift report instead of DOT")
+		driftShift = flag.Bool("driftshift", false, "with -drift: phase-shift the replayed half so the score rises")
+		driftf     = cliflags.DriftFlags(flag.CommandLine)
+		logf       = cliflags.LogFlags(flag.CommandLine, "suppress profiling/stage diagnostics (same as -log off)")
 	)
 	flag.Parse()
 
@@ -129,6 +143,16 @@ func main() {
 	}
 
 	cfg := core.ScaledConfig()
+	if *driftOn {
+		name := *bench
+		if *asmPath != "" {
+			name = *asmPath
+		}
+		if err := driftReport(os.Stdout, cfg, p, name, driftf.Config(), *driftShift); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *pkgIdx >= 0 {
 		rec := obs.NewRecorder()
 		out, err := core.RunObserved(cfg, p, rec)

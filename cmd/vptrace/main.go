@@ -7,6 +7,8 @@
 //	vptrace top [-n 15] trace.json           # hottest spans by total wall time
 //	vptrace diff [-threshold 0.1] [-min-wall 1ms] old.json new.json
 //	vptrace flame trace.json > folded.txt    # folded stacks for flamegraph.pl
+//	vptrace drift trace.json                 # per-program drift summary
+//                                           # (vpackd's /trace carries the series)
 //
 // diff compares per-stage wall-time totals and counters and exits 1 when
 // anything regresses past the threshold — scripts/verify.sh runs it
@@ -37,6 +39,8 @@ func main() {
 		cmdDiff(os.Args[2:])
 	case "flame":
 		cmdFlame(os.Args[2:])
+	case "drift":
+		cmdDrift(os.Args[2:])
 	default:
 		usage()
 	}
@@ -46,7 +50,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vptrace top [-n 15] trace.json
   vptrace diff [-threshold 0.1] [-min-wall 1ms] old.json new.json
-  vptrace flame trace.json`)
+  vptrace flame trace.json
+  vptrace drift trace.json`)
 	os.Exit(2)
 }
 
@@ -142,6 +147,83 @@ func cmdDiff(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println("no regressions")
+}
+
+// cmdDrift summarizes the drift observability series a daemon trace
+// carries (scraped from vpackd's /trace): one row per tracked program
+// from the suffixed vp-drift gauges/counters, plus the typed drift
+// events' window/score/baseline history.
+func cmdDrift(args []string) {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	t := readTrace(fs.Arg(0))
+
+	// Programs are discovered from the per-program series suffixes and
+	// the drift events' Name labels.
+	progs := map[string]bool{}
+	prefix := obs.DriftScoreGauge + "."
+	for name := range t.Metrics.Gauges {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			progs[name[len(prefix):]] = true
+		}
+	}
+	windowEvents := map[string]int{}
+	baselines := map[string][]int64{}
+	var lastScored = map[string]float64{}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case obs.DriftWindow.String():
+			progs[e.Name] = true
+			windowEvents[e.Name]++
+		case obs.DriftScored.String():
+			progs[e.Name] = true
+			// DriftScored events carry the composite in basis points.
+			lastScored[e.Name] = float64(e.N) / 10000
+		case obs.DriftBaseline.String():
+			progs[e.Name] = true
+			baselines[e.Name] = append(baselines[e.Name], e.N)
+		}
+	}
+	if len(progs) == 0 {
+		fmt.Println("no drift series in trace (is this a vpackd /trace with drift tracking enabled?)")
+		return
+	}
+	names := make([]string, 0, len(progs))
+	for p := range progs {
+		names = append(names, p)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+
+	fmt.Printf("%-16s %8s %8s %7s %7s %7s %6s %7s %9s\n",
+		"program", "samples", "windows", "score", "peak", "diverg", "flips", "cross", "baseline")
+	for _, p := range names {
+		fmt.Printf("%-16s %8d %8d %7.3f %7.3f %7.3f %6.0f %7.3f %9.0f\n",
+			p,
+			t.Metrics.Counters[obs.DriftSamplesCounter+"."+p],
+			t.Metrics.Counters[obs.DriftWindowsCounter+"."+p],
+			t.Metrics.Gauges[obs.DriftScoreGauge+"."+p],
+			t.Metrics.Gauges[obs.DriftPeakGauge+"."+p],
+			t.Metrics.Gauges[obs.DriftDivergenceGauge+"."+p],
+			t.Metrics.Gauges[obs.DriftBiasFlipsGauge+"."+p],
+			t.Metrics.Gauges[obs.DriftCrossingsGauge+"."+p],
+			t.Metrics.Gauges[obs.DriftBaselineVersionGauge+"."+p])
+	}
+
+	fmt.Println("\nevents:")
+	for _, p := range names {
+		fmt.Printf("  %-16s %d window events, last scored %.3f, baselines %v\n",
+			p, windowEvents[p], lastScored[p], baselines[p])
+	}
+	if h, ok := t.Metrics.Histograms[obs.DriftScoreHist]; ok && h.Count > 0 {
+		fmt.Printf("\nscore histogram (%%): %d observations, mean %.1f\n", h.Count, h.Sum/float64(h.Count))
+	}
 }
 
 func cmdFlame(args []string) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/drift"
 	"repro/internal/telemetry"
 )
 
@@ -86,4 +87,31 @@ func (l *Log) Quiet() bool { return l.quiet }
 // VerifyFlag registers -verify on fs.
 func VerifyFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
+}
+
+// Drift carries the drift-tracking pair: window and ring sizing. The
+// same knobs size vpackd's live trackers, vpbench's phase-shift
+// assertions and vpdump's offline drift report, so a score measured by
+// one tool reproduces under another.
+type Drift struct {
+	window int
+	ring   int
+}
+
+// DriftFlags registers -driftwindow and -driftring on fs.
+func DriftFlags(fs *flag.FlagSet) *Drift {
+	d := &Drift{}
+	fs.IntVar(&d.window, "driftwindow", drift.DefaultWindow,
+		"hot-spot records per drift analysis window (0 disables drift tracking)")
+	fs.IntVar(&d.ring, "driftring", drift.DefaultRing,
+		"closed drift windows retained per program (0 disables drift tracking)")
+	return d
+}
+
+// Config lowers the parsed values to a drift tracker configuration.
+func (d *Drift) Config() drift.Config {
+	c := drift.DefaultConfig()
+	c.Window = d.window
+	c.Ring = d.ring
+	return c
 }

@@ -1,0 +1,95 @@
+// Provenance: the request-scoped build record the daemon attaches to
+// every published PackageSet version. Where the artifact chain
+// (ProfileArtifact -> RegionArtifact -> PackageSet) links stages by
+// content hash, provenance links a *published version* back to the
+// operational events that produced it: which ingest traces contributed
+// profile records, how long the shard waited in the repack queue, how
+// long each pipeline stage ran, and how far the live stream had drifted
+// from the previous baseline at the moment the snapshot was taken.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProvenanceSchema marks the provenance codec version.
+const ProvenanceSchema = "vpartifact/provenance/v1"
+
+// IngestRef identifies one contributing profile POST by its trace ID.
+type IngestRef struct {
+	// Trace is the ingest's request-scoped trace ID (client-supplied
+	// Vpackd-Trace header or daemon-assigned).
+	Trace string `json:"trace"`
+	// Records is how many hot-spot records the ingest carried.
+	Records int `json:"records"`
+}
+
+// SpanSummary is one timed step of the build.
+type SpanSummary struct {
+	Name string `json:"name"`
+	US   int64  `json:"us"`
+}
+
+// Provenance records how one published package-set version came to be.
+type Provenance struct {
+	Schema  string `json:"schema"`
+	Program string `json:"program"`
+	// Version is the 1-based published version this record describes.
+	Version int `json:"version"`
+	// Trace is the repack's own trace ID; the Ingests' trace IDs chain the
+	// record back to the client requests whose profile data it packaged.
+	Trace string `json:"trace"`
+
+	// The artifact chain by content hash: the program image the profile
+	// was taken on, the profile/region artifacts the build consumed and
+	// produced, and the published PackageSet itself.
+	ProgramHash uint64 `json:"program_hash,string"`
+	ProfileHash uint64 `json:"profile_hash,string"`
+	RegionHash  uint64 `json:"region_hash,string"`
+	PackageHash uint64 `json:"package_hash,string"`
+
+	// Records is the accumulated profile depth behind the snapshot;
+	// Ingests lists the most recent contributing ingests (capped by the
+	// producer), IngestsTotal the full count since the prior version.
+	Records      int64       `json:"records"`
+	Ingests      []IngestRef `json:"ingests,omitempty"`
+	IngestsTotal int64       `json:"ingests_total"`
+
+	// DriftScore is the composite drift score at snapshot time, measured
+	// against DriftBaseline (the version the previous baseline came from;
+	// 0 = this was the first build or drift tracking is disabled).
+	DriftScore    float64 `json:"drift_score"`
+	DriftBaseline int     `json:"drift_baseline"`
+
+	// QueueWaitUS is enqueue-to-worker-pickup; BuildUS the full repack
+	// wall time; Spans the timed pipeline steps inside it.
+	QueueWaitUS int64         `json:"queue_wait_us"`
+	BuildUS     int64         `json:"build_us"`
+	Spans       []SpanSummary `json:"spans,omitempty"`
+}
+
+// Hash returns the record's content hash (FNV-1a over canonical JSON).
+func (p *Provenance) Hash() (uint64, error) {
+	return jsonHash(p)
+}
+
+// EncodeJSON writes the record's canonical JSON form.
+func (p *Provenance) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// DecodeProvenance reads a record previously written by EncodeJSON.
+func DecodeProvenance(r io.Reader) (*Provenance, error) {
+	var p Provenance
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decode provenance: %w", err)
+	}
+	if p.Schema != ProvenanceSchema {
+		return nil, fmt.Errorf("core: decode provenance: schema %q, want %q", p.Schema, ProvenanceSchema)
+	}
+	return &p, nil
+}

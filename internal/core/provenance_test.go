@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testProvenance() *Provenance {
+	return &Provenance{
+		Schema:        ProvenanceSchema,
+		Program:       "m88ksim",
+		Version:       3,
+		Trace:         "rpk-00003",
+		ProgramHash:   0xdeadbeefcafe0001,
+		ProfileHash:   0x1111,
+		RegionHash:    0x2222,
+		PackageHash:   0x3333,
+		Records:       250,
+		Ingests:       []IngestRef{{Trace: "ing-00000001", Records: 10}, {Trace: "ing-00000002", Records: 15}},
+		IngestsTotal:  25,
+		DriftScore:    0.42,
+		DriftBaseline: 2,
+		QueueWaitUS:   120,
+		BuildUS:       34567,
+		Spans:         []SpanSummary{{Name: "region_stage", US: 12000}, {Name: "package_stage", US: 20000}},
+	}
+}
+
+func TestProvenanceRoundTrip(t *testing.T) {
+	p := testProvenance()
+	var buf bytes.Buffer
+	if err := p.EncodeJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Hashes >2^53 travel as strings, like every other artifact.
+	if !strings.Contains(buf.String(), `"program_hash": "16045690984503050241"`) {
+		t.Fatalf("program_hash not string-encoded:\n%s", buf.String())
+	}
+	got, err := DecodeProvenance(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Trace != p.Trace || got.Version != p.Version || got.ProgramHash != p.ProgramHash {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.Ingests) != 2 || got.Ingests[1].Trace != "ing-00000002" {
+		t.Fatalf("ingest chain lost: %+v", got.Ingests)
+	}
+	if got.DriftScore != p.DriftScore || got.QueueWaitUS != p.QueueWaitUS {
+		t.Fatalf("drift/wait lost: %+v", got)
+	}
+}
+
+func TestProvenanceHashStable(t *testing.T) {
+	h1, err := testProvenance().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := testProvenance().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || h1 == 0 {
+		t.Fatalf("hashes %016x, %016x not stable and nonzero", h1, h2)
+	}
+	changed := testProvenance()
+	changed.DriftScore = 0.43
+	h3, err := changed.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("hash insensitive to content change")
+	}
+}
+
+func TestDecodeProvenanceRejectsSchema(t *testing.T) {
+	if _, err := DecodeProvenance(strings.NewReader(`{"schema":"vpartifact/other/v1"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

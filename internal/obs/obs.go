@@ -44,7 +44,12 @@ type EventKind uint8
 
 // Event kinds. PhaseFiltered is a raw detection the software filter merged
 // into an existing phase; PhaseSkipped is a phase dropped later in the
-// pipeline (Event.Name carries the reason).
+// pipeline (Event.Name carries the reason). The Drift* kinds come from the
+// internal/drift timeline layer: DriftWindow closes one analysis window
+// (Name = program, N = records), DriftScored reports a fresh composite
+// drift score (N = score in basis points, so 10000 = 1.0), and
+// DriftBaseline marks a published version becoming the drift baseline
+// (N = version).
 const (
 	PhaseDetected EventKind = iota
 	PhaseFiltered
@@ -53,6 +58,9 @@ const (
 	PackageBuilt
 	PackageLinked
 	PassApplied
+	DriftWindow
+	DriftScored
+	DriftBaseline
 )
 
 var kindNames = [...]string{
@@ -63,6 +71,9 @@ var kindNames = [...]string{
 	PackageBuilt:  "package_built",
 	PackageLinked: "package_linked",
 	PassApplied:   "pass_applied",
+	DriftWindow:   "drift_window",
+	DriftScored:   "drift_scored",
+	DriftBaseline: "drift_baseline",
 }
 
 func (k EventKind) String() string {

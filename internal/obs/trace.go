@@ -177,6 +177,11 @@ const (
 	DaemonVersionsCounter      = "vpackd.versions"
 	DaemonQueueDepthGauge      = "vpackd.queue_depth"
 	DaemonRepackLatencyHist    = "vpackd.repack_latency_us"
+	// DaemonQueueWaitHist measures enqueue-to-worker-pickup latency: how
+	// long a shard sat in the bounded repack queue before a worker drained
+	// it. Together with DaemonRepackLatencyHist (pickup to publish) it
+	// decomposes end-to-end repack latency into queueing and service time.
+	DaemonQueueWaitHist = "vpackd.queue_wait_us"
 )
 
 // DaemonCounters lists the daemon counter names the serving tier always
@@ -187,6 +192,74 @@ func DaemonCounters() []string {
 		DaemonRecordsCounter, DaemonRepacksCounter,
 		DaemonQueueRejectedCounter, DaemonVersionsCounter,
 	}
+}
+
+// DaemonHistograms lists the daemon histogram names the serving tier
+// always exposes (empty when idle), so queue-wait and repack-latency
+// quantiles render from the first scrape on.
+func DaemonHistograms() []string {
+	return []string{DaemonQueueWaitHist, DaemonRepackLatencyHist}
+}
+
+// Canonical metric names for the drift-observability layer
+// (internal/drift): per-program windowed timelines of incoming profile
+// shards scored against the phase snapshot backing the latest published
+// PackageSet. Per-program series derive by suffixing ".<program>"; the
+// unsuffixed gauges aggregate (max) across programs.
+const (
+	// DriftScoreGauge is the composite drift score in [0,1]: 0 means the
+	// recent windows look exactly like the baseline profile, 1 means they
+	// share nothing with it.
+	DriftScoreGauge = "drift.score"
+	// DriftPeakGauge is the maximum composite score ever observed (never
+	// reset, not even by a new baseline), so a transient phase shift stays
+	// visible to later scrapes.
+	DriftPeakGauge = "drift.peak"
+	// DriftDivergenceGauge is the weighted hot-set divergence component:
+	// total-variation distance between the recent windows' and the
+	// baseline's normalized branch-weight distributions.
+	DriftDivergenceGauge = "drift.hot_set_divergence"
+	// DriftBiasFlipsGauge counts branches common to the recent windows and
+	// the baseline whose bias (taken/not-taken under the phasedb
+	// thresholds) flipped direction.
+	DriftBiasFlipsGauge = "drift.bias_flips"
+	// DriftCrossingsGauge is the fraction of recent windows whose branch
+	// set fails the paper's 30% filter rule against every baseline phase —
+	// windows that would have founded a new phase.
+	DriftCrossingsGauge = "drift.filter_crossings"
+	// DriftBaselineVersionGauge is the published PackageSet version the
+	// current baseline snapshot came from (0 = no baseline yet).
+	DriftBaselineVersionGauge = "drift.baseline_version"
+	// DriftWindowsCounter counts closed analysis windows;
+	// DriftSamplesCounter counts hot-spot records observed.
+	DriftWindowsCounter = "drift.windows"
+	DriftSamplesCounter = "drift.samples"
+	// DriftScoreHist distributes the per-window composite score as a
+	// percentage (score x 100), so the shared power-of-two buckets resolve
+	// it: <=1%, <=2%, <=4%, ... <=64%, overflow.
+	DriftScoreHist = "drift.score_pct"
+)
+
+// DriftGauges lists the drift gauge names the serving tier always exposes
+// (zero before the first window closes), so dashboards can plot drift from
+// the first scrape without series gaps.
+func DriftGauges() []string {
+	return []string{
+		DriftScoreGauge, DriftPeakGauge, DriftDivergenceGauge,
+		DriftBiasFlipsGauge, DriftCrossingsGauge, DriftBaselineVersionGauge,
+	}
+}
+
+// DriftCounters lists the drift counter names the serving tier always
+// exposes.
+func DriftCounters() []string {
+	return []string{DriftWindowsCounter, DriftSamplesCounter}
+}
+
+// DriftHistograms lists the drift histogram names the serving tier always
+// exposes.
+func DriftHistograms() []string {
+	return []string{DriftScoreHist}
 }
 
 // ReadTrace decodes one JSON trace and validates its schema marker.

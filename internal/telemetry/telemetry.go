@@ -35,8 +35,11 @@ type Server struct {
 	ready atomic.Bool
 	mux   *http.ServeMux
 	http  *http.Server
-	// extra counter names /metrics always renders (see AlwaysCounters).
-	extra []string
+	// extra counter/gauge/histogram names /metrics always renders (see
+	// AlwaysCounters, AlwaysGauges, AlwaysHistograms).
+	extra      []string
+	extraGauge []string
+	extraHist  []string
 }
 
 // NewServer builds a server over src. It starts not-ready; call SetReady
@@ -68,6 +71,20 @@ func (s *Server) AlwaysCounters(names ...string) {
 	s.extra = append(s.extra, names...)
 }
 
+// AlwaysGauges registers gauge names that /metrics renders even before the
+// instrumented code first sets them (value 0). Call before Listen.
+func (s *Server) AlwaysGauges(names ...string) {
+	s.extraGauge = append(s.extraGauge, names...)
+}
+
+// AlwaysHistograms registers histogram names that /metrics renders even
+// before the first observation (all-zero buckets, zero sum and count), so
+// latency quantiles have no series gap to their first sample. Call before
+// Listen.
+func (s *Server) AlwaysHistograms(names ...string) {
+	s.extraHist = append(s.extraHist, names...)
+}
+
 // SetReady flips the /readyz state.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
@@ -87,7 +104,11 @@ func (s *Server) Close() error { return s.http.Close() }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	WriteMetricsExtra(w, s.src.Export(), s.extra...)
+	WriteMetricsAlways(w, s.src.Export(), Always{
+		Counters:   s.extra,
+		Gauges:     s.extraGauge,
+		Histograms: s.extraHist,
+	})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
@@ -141,6 +162,21 @@ func WriteMetrics(w io.Writer, t *obs.Trace) {
 // counter names (rendered as 0 when the snapshot has none) — the daemon
 // uses it to keep its queue/repack series gap-free from the first scrape.
 func WriteMetricsExtra(w io.Writer, t *obs.Trace, extra ...string) {
+	WriteMetricsAlways(w, t, Always{Counters: extra})
+}
+
+// Always names metric series /metrics renders even when the snapshot has
+// no sample for them: counters as 0, gauges as 0, histograms with all-zero
+// buckets. The daemon registers its queue/repack and drift series here so
+// every series exists from the first scrape.
+type Always struct {
+	Counters   []string
+	Gauges     []string
+	Histograms []string
+}
+
+// WriteMetricsAlways is WriteMetrics with per-kind always-exposed series.
+func WriteMetricsAlways(w io.Writer, t *obs.Trace, always Always) {
 	fmtFloat := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 	counters := make(map[string]int64, len(t.Metrics.Counters)+2)
@@ -152,7 +188,7 @@ func WriteMetricsExtra(w io.Writer, t *obs.Trace, extra ...string) {
 	// alerts and dashboards can rate() them without series gaps.
 	wellKnown := append([]string{obs.DroppedSpansCounter, obs.DroppedEventsCounter},
 		obs.EngineCounters()...)
-	wellKnown = append(wellKnown, extra...)
+	wellKnown = append(wellKnown, always.Counters...)
 	for _, k := range wellKnown {
 		if _, ok := counters[k]; !ok {
 			counters[k] = 0
@@ -168,24 +204,42 @@ func WriteMetricsExtra(w io.Writer, t *obs.Trace, extra ...string) {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[k])
 	}
 
+	gauges := make(map[string]float64, len(t.Metrics.Gauges)+len(always.Gauges))
+	for k, v := range t.Metrics.Gauges {
+		gauges[k] = v
+	}
+	for _, k := range always.Gauges {
+		if _, ok := gauges[k]; !ok {
+			gauges[k] = 0
+		}
+	}
 	names = names[:0]
-	for k := range t.Metrics.Gauges {
+	for k := range gauges {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	for _, k := range names {
 		m := MetricName(k)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, fmtFloat(t.Metrics.Gauges[k]))
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, fmtFloat(gauges[k]))
 	}
 
 	bounds := obs.HistogramBounds()
+	hists := make(map[string]obs.HistogramRecord, len(t.Metrics.Histograms)+len(always.Histograms))
+	for k, h := range t.Metrics.Histograms {
+		hists[k] = h
+	}
+	for _, k := range always.Histograms {
+		if _, ok := hists[k]; !ok {
+			hists[k] = obs.HistogramRecord{}
+		}
+	}
 	names = names[:0]
-	for k := range t.Metrics.Histograms {
+	for k := range hists {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		h := t.Metrics.Histograms[k]
+		h := hists[k]
 		m := MetricName(k)
 		fmt.Fprintf(w, "# TYPE %s histogram\n", m)
 		var cum uint64

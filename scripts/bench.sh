@@ -51,17 +51,30 @@ echo "BENCH_pipeline.json refreshed:"
 grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"|"superblock_|"verify_' BENCH_pipeline.json | tail -10
 
 echo
+echo "== drift-tracker ingest cost (internal/drift) =="
+# Per-record cost of the daemon's drift path: an enabled tracker with a
+# baseline set (window aggregation + scoring at window close) vs a
+# disabled tracker (-driftwindow 0), which must be within noise of free —
+# a single atomic-free Enabled() check per record.
+drift_tmp="$(mktemp)"
+trap 'rm -f "$drift_tmp"' EXIT
+go test -run '^$' -bench 'BenchmarkTrackerObserve' \
+  -benchtime "$BENCHTIME" ./internal/drift/ | tee "$drift_tmp"
+drift_on=$(awk '$1 ~ /^BenchmarkTrackerObserve-|^BenchmarkTrackerObserve$/ {print $3}' "$drift_tmp")
+drift_off=$(awk '$1 ~ /^BenchmarkTrackerObserveDisabled/ {print $3}' "$drift_tmp")
+
+echo
 echo "== observer overhead (disabled vs enabled suite run) =="
 obs_tmp="$(mktemp)"
-trap 'rm -f "$obs_tmp"' EXIT
+trap 'rm -f "$obs_tmp" "$drift_tmp"' EXIT
 go run ./cmd/vpbench -q -scale 1 -metrics -benchjson "$obs_tmp" >/dev/null
 # The trajectory file repeats "wall_seconds" in history entries; the last
 # occurrence is this run's `latest` block. The tmp file has only one.
 disabled=$(grep '"wall_seconds"' BENCH_pipeline.json | tail -1 | grep -o '[0-9.]*')
 enabled=$(grep '"wall_seconds"' "$obs_tmp" | tail -1 | grep -o '[0-9.]*')
-awk -v d="$disabled" -v e="$enabled" 'BEGIN {
+awk -v d="$disabled" -v e="$enabled" -v don="${drift_on:-0}" -v doff="${drift_off:-0}" 'BEGIN {
   delta = (d > 0) ? (e - d) / d : 0
-  printf "{\n  \"schema\": \"obs-overhead/v1\",\n  \"disabled_wall_seconds\": %.3f,\n  \"enabled_wall_seconds\": %.3f,\n  \"overhead_fraction\": %.4f\n}\n", d, e, delta
+  printf "{\n  \"schema\": \"obs-overhead/v1\",\n  \"disabled_wall_seconds\": %.3f,\n  \"enabled_wall_seconds\": %.3f,\n  \"overhead_fraction\": %.4f,\n  \"drift_enabled_ns_per_record\": %.1f,\n  \"drift_disabled_ns_per_record\": %.1f\n}\n", d, e, delta, don, doff
 }' > BENCH_obs_overhead.json
 echo "BENCH_obs_overhead.json refreshed:"
 cat BENCH_obs_overhead.json

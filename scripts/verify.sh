@@ -30,6 +30,9 @@ go test -race ./internal/cpu/...
 # the resumability golden (staged == straight-through, byte for byte)
 # and vpackd's sharded ingest under 1000 concurrent streams.
 go test -race ./cmd/vpackd/... ./internal/core/...
+# Drift telemetry: windowed trackers and the bounded event ring under
+# concurrent writers/readers.
+go test -race ./internal/drift/...
 
 # Verifier-gated pipeline pass: every stage's output re-checked against
 # the internal/verify rule catalog on a real multi-benchmark run. Any
@@ -55,15 +58,23 @@ go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp
 
 # Daemon smoke test: boot vpackd on a free port, stream 100 hot-spot
 # records from 8 concurrent clients (vpbench's load-generator mode,
-# which also fetches the published package and checks the /metrics
-# series), confirm a package version is served, then verify SIGTERM
-# shuts the daemon down cleanly (exit 0, queue drained).
+# which also fetches the published package and asserts every expected
+# /metrics series — queue, repack, queue-wait and vp_drift_* — naming
+# any that are missing), then induce a phase shift (-phaseshift) and
+# confirm the drift score demonstrably rises: a nonzero vp_drift_peak
+# must appear on /metrics and the vptrace drift view must report the
+# program. Finally verify SIGTERM shuts the daemon down cleanly
+# (exit 0, queue drained). The -driftwindow knob is the shared
+# internal/cliflags flag and must match on both sides so vpbench's
+# shift burst spans whole tracker windows.
 daemon_dir="$(mktemp -d)"
 daemon_pid=""
 trap 'rm -f "$trace_tmp"; rm -rf "$daemon_dir"; [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
 go build -o bin/vpackd ./cmd/vpackd
 go build -o bin/vpbench ./cmd/vpbench
-bin/vpackd -addr 127.0.0.1:0 -addrfile "$daemon_dir/addr" -bench m88ksim -scale 1 -batch 10 -log off &
+go build -o bin/vptrace ./cmd/vptrace
+bin/vpackd -addr 127.0.0.1:0 -addrfile "$daemon_dir/addr" -bench m88ksim -scale 1 -batch 10 \
+    -driftwindow 4 -driftring 32 -log off &
 daemon_pid=$!
 for _ in $(seq 1 100); do
     [ -s "$daemon_dir/addr" ] && break
@@ -71,10 +82,19 @@ for _ in $(seq 1 100); do
 done
 [ -s "$daemon_dir/addr" ] || { echo "vpackd never wrote its address" >&2; exit 1; }
 daemon_addr="$(cat "$daemon_dir/addr")"
-bin/vpbench -daemon "http://$daemon_addr" -streams 8 -records 100 -log off
+bin/vpbench -daemon "http://$daemon_addr" -streams 8 -records 100 -phaseshift -driftwindow 4 -log off
 curl -sf "http://$daemon_addr/v1/packages/m88ksim/latest" >/dev/null
-curl -sf "http://$daemon_addr/metrics" | grep -q '^vp_vpackd_queue_depth'
-curl -sf "http://$daemon_addr/metrics" | grep -q '^vp_vpackd_repack_latency_us'
+curl -sf "http://$daemon_addr/v1/provenance/m88ksim/latest" | grep -q '"trace"'
+curl -sf "http://$daemon_addr/v1/drift/m88ksim" | grep -q '"enabled": *true'
+metrics="$(curl -sf "http://$daemon_addr/metrics")"
+echo "$metrics" | grep -q '^vp_vpackd_queue_depth'
+echo "$metrics" | grep -q '^vp_vpackd_repack_latency_us'
+echo "$metrics" | grep -q '^vp_vpackd_queue_wait_us_count'
+echo "$metrics" | awk '$1=="vp_drift_peak"{found=1; exit !($2>0)} END{if(!found) exit 1}' \
+    || { echo "phase shift left vp_drift_peak at zero" >&2; exit 1; }
+curl -sf "http://$daemon_addr/trace" > "$daemon_dir/trace.json"
+bin/vptrace drift "$daemon_dir/trace.json" | grep -q '^m88ksim' \
+    || { echo "vptrace drift view missing m88ksim row" >&2; exit 1; }
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "vpackd did not exit cleanly" >&2; exit 1; }
 

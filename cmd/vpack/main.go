@@ -8,6 +8,7 @@
 //	vpack -bench perl -input A [-scale N] [-noinfer] [-nolink] [-v]
 //	vpack -asm program.vpasm [-v]
 //	vpack -bench perl -trace out.json   # JSON span/event/metric trace
+//	vpack -bench perl -store .vpstore   # reuse/persist profiles across runs
 //	vpack -bench perl -q                # only the coverage/speedup line
 //	vpack -log json                     # diagnostics as JSON slog records
 package main
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/cas"
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -72,6 +74,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "per-phase and per-package detail")
 		logf      = cliflags.LogFlags(flag.CommandLine, "print only the final coverage/speedup line (same as -log off for diagnostics)")
 		tracePath = flag.String("trace", "", "write a JSON span/event/metric trace of the run to `file`")
+		storeDir  = cliflags.StoreFlag(flag.CommandLine)
 		machine   = cliflags.MachineFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -152,7 +155,19 @@ func main() {
 			title, len(p.Funcs), p.NumBlocks(), p.NumInsts())
 	}
 
-	out, err := core.RunObserved(cfg, p, o)
+	// With -store, the pipeline reuses a persisted profile when one
+	// matches this image and writes a fresh one through; the emitted
+	// trace is identical either way (the golden-trace gate runs both).
+	var store *cas.Store
+	if *storeDir != "" {
+		store, err = cas.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+
+	out, err := cas.PipelineObserved(store, cfg, p, o)
 	if err != nil {
 		if errors.Is(err, core.ErrNoPhases) || errors.Is(err, core.ErrNoPackages) {
 			logger.Warn("the run may be too short for the detector; raise -scale")

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/hsd"
@@ -78,6 +79,11 @@ type Daemon struct {
 	logger   *slog.Logger
 	batch    int
 
+	// store, when non-nil, persists every published version and its
+	// provenance; the daemon owns it (Close flushes and closes it) and
+	// recovers the version history from it at boot.
+	store *cas.Store
+
 	programs map[string]*programState
 
 	// events is the bounded /v1/events ring; ingestSeq and repackSeq mint
@@ -101,7 +107,17 @@ type Daemon struct {
 // many fresh records accumulate before a shard re-enters the queue.
 // driftCfg sizes the per-program drift trackers (a disabled config keeps
 // ingest and repack working with the drift series pinned at zero).
-func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, rec *obs.Recorder, logger *slog.Logger) (*Daemon, error) {
+//
+// store, when non-nil, is the persistent artifact store: each program's
+// published version history is recovered from it before the daemon
+// starts serving — a restarted daemon answers /v1/packages/{p}/latest
+// (and the matching provenance) immediately, without waiting for a
+// repack — and every future repack writes through to it. The daemon
+// takes ownership: Close flushes and closes it. Drift baselines are
+// deliberately not recovered; the tracker re-baselines at the first
+// post-restart repack, so drift scores restart from zero rather than
+// comparing against a snapshot that no longer reflects the live stream.
+func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, store *cas.Store, rec *obs.Recorder, logger *slog.Logger) (*Daemon, error) {
 	ordered := workload.Ordered()
 	if len(benches) > 0 {
 		var sel []*workload.Benchmark
@@ -129,6 +145,7 @@ func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap
 		rec:      rec,
 		logger:   logger,
 		batch:    batch,
+		store:    store,
 		programs: make(map[string]*programState, len(ordered)),
 		events:   drift.NewEventRing(drift.DefaultEventRing),
 		queue:    make(chan *programState, queueCap),
@@ -143,7 +160,7 @@ func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap
 		if err != nil {
 			return nil, fmt.Errorf("vpackd: %s: linearize: %w", b.Name, err)
 		}
-		d.programs[b.Name] = &programState{
+		st := &programState{
 			name:    b.Name,
 			input:   in.Name,
 			scale:   in.Scale,
@@ -153,6 +170,11 @@ func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap
 			db:      phasedb.New(cfg.Filter),
 			tracker: drift.NewTracker(driftCfg, b.Name, rec),
 		}
+		if n := d.recoverVersions(st); n > 0 {
+			rec.Count(obs.DaemonRecoveredCounter, int64(n))
+			logger.Info("recovered versions", "program", b.Name, "versions", n)
+		}
+		d.programs[b.Name] = st
 	}
 	// Fixed worker pool over the bounded queue — the same ForEachN
 	// discipline the suite runner fans out with; each index is one
@@ -169,7 +191,52 @@ func NewDaemon(cfg core.Config, benches []string, scale int64, workers, queueCap
 		})
 	}()
 	d.rec.Gauge(obs.DaemonQueueDepthGauge, 0)
+	if d.store != nil {
+		d.publishStoreGauges()
+	}
 	return d, nil
+}
+
+// recoverVersions reloads st's published version history from the
+// artifact store: versions 1..N under (NameKey(name), v) until the first
+// gap. Each recovered PackageSet must decode and claim the live
+// program's image hash — a stale store (the benchmark's build changed
+// under it) stops recovery at the last version that still matches, so
+// the daemon never serves packages for a program it isn't running.
+// Corrupt blobs likewise end recovery as a clean stop, never a panic.
+func (d *Daemon) recoverVersions(st *programState) int {
+	if d.store == nil {
+		return 0
+	}
+	for v := 1; ; v++ {
+		encoded, err := d.store.GetDaemonVersion(st.name, v)
+		if err != nil {
+			if !errors.Is(err, cas.ErrNotFound) {
+				d.logger.Warn("version recovery stopped", "program", st.name, "version", v, "err", err)
+			}
+			break
+		}
+		set, err := core.DecodePackageSet(bytes.NewReader(encoded))
+		if err != nil {
+			d.logger.Warn("version recovery stopped", "program", st.name, "version", v, "err", err)
+			break
+		}
+		if set.ProgramHash != st.hash {
+			d.logger.Warn("stored versions are for a different program build; ignoring",
+				"program", st.name, "version", v,
+				"stored", fmt.Sprintf("%016x", set.ProgramHash),
+				"live", fmt.Sprintf("%016x", st.hash))
+			break
+		}
+		prov, err := d.store.GetDaemonProvenance(st.name, v)
+		if err != nil {
+			d.logger.Warn("version recovery stopped", "program", st.name, "version", v, "err", err)
+			break
+		}
+		st.versions = append(st.versions, encoded)
+		st.provs = append(st.provs, prov)
+	}
+	return len(st.versions)
 }
 
 // lookup resolves a program name, wrapping ErrUnknownProgram.
@@ -389,6 +456,16 @@ func (d *Daemon) repack(st *programState) {
 		return
 	}
 
+	// Write the published version through to the artifact store and make
+	// it durable before announcing: a crash after this point loses
+	// nothing, a crash before it simply rebuilds the version from the
+	// next stream. Persistence failures degrade the store, not serving.
+	if d.store != nil {
+		if perr := d.persistVersion(st.name, version, encoded, prov); perr != nil {
+			d.logger.Warn("version persist failed", "program", st.name, "version", version, "err", perr)
+		}
+	}
+
 	// The published version's snapshot becomes the new drift baseline:
 	// future windows measure against what is now actually deployed.
 	st.tracker.SetBaseline(snap, version)
@@ -408,6 +485,31 @@ func (d *Daemon) repack(st *programState) {
 		"queue_wait", queueWait.Round(time.Microsecond),
 		"drift", fmt.Sprintf("%.3f", driftAtBuild.Composite),
 		"elapsed", time.Since(start).Round(time.Millisecond))
+}
+
+// persistVersion writes one published version and its build record to
+// the store and flushes, so the version survives an immediate crash.
+// Serialized by the store's own lock; repack workers may race here.
+func (d *Daemon) persistVersion(name string, version int, encoded []byte, prov *core.Provenance) error {
+	if err := d.store.PutDaemonVersion(name, version, encoded); err != nil {
+		return err
+	}
+	if err := d.store.PutDaemonProvenance(name, version, prov); err != nil {
+		return err
+	}
+	if err := d.store.Flush(); err != nil {
+		return err
+	}
+	d.publishStoreGauges()
+	return nil
+}
+
+// publishStoreGauges refreshes the vp_store_* footprint gauges from the
+// store's live stats.
+func (d *Daemon) publishStoreGauges() {
+	sst := d.store.Stats()
+	d.rec.Gauge(obs.StoreBytesGauge, float64(sst.DiskBytes))
+	d.rec.Gauge(obs.StoreSegmentsGauge, float64(sst.Segments))
 }
 
 // buildVersion resumes the staged pipeline from pa, filling prov's
@@ -497,9 +599,12 @@ func (st *programState) provenance(sel string) (*core.Provenance, error) {
 	return st.provs[v-1], nil
 }
 
-// Close stops accepting repacks and waits for in-flight ones to finish.
-// Ingest handlers may still run afterwards (the HTTP server drains
-// separately); their enqueue attempts fail closed.
+// Close stops accepting repacks, waits for in-flight ones to finish,
+// then flushes and closes the artifact store — pending writes hit disk
+// and the manifest is fsynced before the process exits, so a SIGTERM'd
+// daemon restarts with its full version history. Ingest handlers may
+// still run afterwards (the HTTP server drains separately); their
+// enqueue attempts fail closed.
 func (d *Daemon) Close() {
 	d.queueMu.Lock()
 	if !d.closed {
@@ -508,4 +613,9 @@ func (d *Daemon) Close() {
 	}
 	d.queueMu.Unlock()
 	d.poolWG.Wait()
+	if d.store != nil {
+		if err := d.store.Close(); err != nil {
+			d.logger.Warn("store close failed", "err", err)
+		}
+	}
 }

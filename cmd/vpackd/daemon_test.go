@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/drift"
@@ -30,9 +31,17 @@ var testDriftCfg = drift.Config{Window: 2, Ring: 16, Recent: 2}
 // records triggers a repack.
 func newTestDaemon(t *testing.T, batch int) (*Daemon, *obs.Recorder) {
 	t.Helper()
+	return newTestDaemonStore(t, batch, nil)
+}
+
+// newTestDaemonStore is newTestDaemon with a persistent artifact store;
+// the daemon owns it (Close closes it), so restart tests reopen the
+// directory for the next incarnation.
+func newTestDaemonStore(t *testing.T, batch int, store *cas.Store) (*Daemon, *obs.Recorder) {
+	t.Helper()
 	rec := obs.NewRecorder()
 	d, err := NewDaemon(core.ScaledConfig(), []string{"m88ksim"}, 1, 2, 4, batch,
-		testDriftCfg, rec, slog.New(slog.DiscardHandler))
+		testDriftCfg, store, rec, slog.New(slog.DiscardHandler))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +200,7 @@ func TestDaemonUnknownProgram(t *testing.T) {
 		t.Fatalf("lookup error %v, want ErrUnknownProgram", err)
 	}
 	_, err := NewDaemon(core.ScaledConfig(), []string{"nope"}, 1, 1, 1, 1,
-		testDriftCfg, obs.NewRecorder(), slog.New(slog.DiscardHandler))
+		testDriftCfg, nil, obs.NewRecorder(), slog.New(slog.DiscardHandler))
 	if !errors.Is(err, ErrUnknownProgram) {
 		t.Fatalf("NewDaemon error %v, want ErrUnknownProgram", err)
 	}
@@ -314,7 +323,7 @@ func TestDaemonConcurrentStreams(t *testing.T) {
 func TestDaemonCloseStopsQueue(t *testing.T) {
 	rec := obs.NewRecorder()
 	d, err := NewDaemon(core.ScaledConfig(), []string{"m88ksim"}, 1, 1, 1, 1,
-		testDriftCfg, rec, slog.New(slog.DiscardHandler))
+		testDriftCfg, nil, rec, slog.New(slog.DiscardHandler))
 	if err != nil {
 		t.Fatal(err)
 	}

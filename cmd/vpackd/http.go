@@ -118,7 +118,9 @@ func (d *Daemon) Handler() http.Handler {
 	tsrv := telemetry.NewServer(d.rec)
 	tsrv.AlwaysCounters(obs.DaemonCounters()...)
 	tsrv.AlwaysCounters(obs.DriftCounters()...)
+	tsrv.AlwaysCounters(obs.StoreCounters()...)
 	tsrv.AlwaysGauges(obs.DriftGauges()...)
+	tsrv.AlwaysGauges(obs.StoreGauges()...)
 	tsrv.AlwaysHistograms(obs.DaemonHistograms()...)
 	tsrv.AlwaysHistograms(obs.DriftHistograms()...)
 	tsrv.SetReady(true)

@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/drift"
@@ -63,14 +64,15 @@ func main() {
 		queueCap = flag.Int("queue", 8, "bounded repack queue capacity")
 		batch    = flag.Int("batch", 25, "hot-spot records accumulated before a shard is re-queued for repacking")
 		driftf   = cliflags.DriftFlags(flag.CommandLine)
+		storeDir = cliflags.StoreFlag(flag.CommandLine)
 		verifyOn = cliflags.VerifyFlag(flag.CommandLine)
 		logf     = cliflags.LogFlags(flag.CommandLine, "no daemon logs (same as -log off)")
 	)
 	flag.Parse()
-	os.Exit(run(*addr, *addrFile, *benches, *scale, *workers, *queueCap, *batch, driftf.Config(), *verifyOn, logf.Mode()))
+	os.Exit(run(*addr, *addrFile, *benches, *scale, *workers, *queueCap, *batch, driftf.Config(), *storeDir, *verifyOn, logf.Mode()))
 }
 
-func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, verify bool, logMode string) int {
+func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, storeDir string, verify bool, logMode string) int {
 	rec := obs.NewRecorder()
 	logger, err := telemetry.NewLogger(logMode, os.Stderr, rec)
 	if err != nil {
@@ -81,8 +83,25 @@ func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch i
 	cfg := core.ScaledConfig()
 	cfg.Verify = verify
 
-	d, err := NewDaemon(cfg, splitList(benches), scale, workers, queueCap, batch, driftCfg, rec, logger)
+	// The daemon owns the store for its whole lifetime: versions recover
+	// from it at boot and Close flushes it on the signal path below.
+	var store *cas.Store
+	if storeDir != "" {
+		store, err = cas.Open(storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpackd:", err)
+			return 2
+		}
+		if lerr := store.LoadErr(); lerr != nil {
+			logger.Warn("store opened degraded", "dir", storeDir, "err", lerr)
+		}
+	}
+
+	d, err := NewDaemon(cfg, splitList(benches), scale, workers, queueCap, batch, driftCfg, store, rec, logger)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		fmt.Fprintln(os.Stderr, "vpackd:", err)
 		if errors.Is(err, ErrUnknownProgram) {
 			var names []string

@@ -22,6 +22,9 @@
 //	vpbench -log json       # structured progress records (text|json|off)
 //	vpbench -verify         # static verifier gates every stage (exit 3 on violation)
 //	vpbench -verifyoverhead # extra verify-on run, overhead recorded in -benchjson
+//	vpbench -store DIR      # suite profiles/packages served from + written to DIR
+//	vpbench -store DIR -storecompare  # storeless main suite, then cold+warm
+//	                        # store-backed runs recorded in -benchjson
 //	vpbench -daemon URL     # load generator: stream hot-spot profiles to vpackd
 //	                        # (-streams, -records size the load; see loadgen.go)
 //	vpbench -daemon URL -phaseshift  # then shift the phase and assert the
@@ -42,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -74,6 +78,14 @@ type benchJSON struct {
 	// pointer so a measured zero still appears in the JSON.
 	VerifyWallSeconds      float64  `json:"verify_wall_seconds,omitempty"`
 	VerifyOverheadFraction *float64 `json:"verify_overhead_fraction,omitempty"`
+	// StoreColdWallSeconds/StoreWarmWallSeconds are -storecompare's
+	// measurement: one suite run against a fresh artifact store (cold,
+	// every profile and package computed and written through) and one
+	// against the store it left behind (warm, every stage served from
+	// disk). Store carries the warm run's hit/miss tally and footprint.
+	StoreColdWallSeconds float64     `json:"store_cold_wall_seconds,omitempty"`
+	StoreWarmWallSeconds float64     `json:"store_warm_wall_seconds,omitempty"`
+	Store                *benchStore `json:"store,omitempty"`
 	// BlockCacheHitRate aggregates the timed runs' basic-block cache
 	// traffic across all variants (absent when -blockcache=off).
 	BlockCacheHitRate float64 `json:"blockcache_hit_rate,omitempty"`
@@ -93,6 +105,34 @@ type benchInput struct {
 	Input   string  `json:"input"`
 	Insts   uint64  `json:"insts"`
 	Seconds float64 `json:"seconds"`
+}
+
+// benchStore is the artifact-store block of a -benchjson record: the
+// suite's hit/miss tally by artifact class and the store's footprint
+// after the run.
+type benchStore struct {
+	ProfileHits   uint64 `json:"profile_hits"`
+	ProfileMisses uint64 `json:"profile_misses"`
+	PackageHits   uint64 `json:"package_hits"`
+	PackageMisses uint64 `json:"package_misses"`
+	Bytes         int64  `json:"bytes"`
+	Segments      int    `json:"segments"`
+}
+
+// storeBlock lowers a suite's store tally to the JSON block, nil when
+// the suite ran storeless.
+func storeBlock(s *report.Suite) *benchStore {
+	if s.StoreProfileHits+s.StoreProfileMisses+s.StorePackageHits+s.StorePackageMisses == 0 && s.StoreBytes == 0 {
+		return nil
+	}
+	return &benchStore{
+		ProfileHits:   s.StoreProfileHits,
+		ProfileMisses: s.StoreProfileMisses,
+		PackageHits:   s.StorePackageHits,
+		PackageMisses: s.StorePackageMisses,
+		Bytes:         s.StoreBytes,
+		Segments:      s.StoreSegments,
+	}
 }
 
 func main() {
@@ -118,8 +158,15 @@ func main() {
 		records    = flag.Int("records", 100, "total hot-spot records to stream in -daemon mode")
 		phaseShift = flag.Bool("phaseshift", false, "in -daemon mode, follow the stream with a synthesized phase shift and assert the daemon's drift score rises")
 		driftf     = cliflags.DriftFlags(flag.CommandLine)
+		storeDir   = cliflags.StoreFlag(flag.CommandLine)
+		storeComp  = flag.Bool("storecompare", false, "with -store: keep the main suite storeless, then run one cold and one warm store-backed suite and record both wall times in -benchjson")
 	)
 	flag.Parse()
+
+	if *storeComp && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "vpbench: -storecompare requires -store")
+		os.Exit(2)
+	}
 
 	if *daemonURL != "" {
 		os.Exit(runLoadgen(*daemonURL, *streams, *records, *benches, logf.Mode(), *phaseShift, driftf.Config()))
@@ -171,8 +218,25 @@ func main() {
 	}
 	opts.Logger = logger
 
+	// The main suite uses the store directly when -store is given alone;
+	// -storecompare keeps it storeless so the trajectory numbers stay
+	// comparable across PRs and measures cold/warm separately below.
+	if *storeDir != "" && !*storeComp {
+		s, err := cas.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench:", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		opts.Store = s
+	}
+
 	if *serve != "" {
 		srv := telemetry.NewServer(rec)
+		// Store series are always present (zero without a -store), so
+		// dashboards never see gaps.
+		srv.AlwaysCounters(obs.StoreCounters()...)
+		srv.AlwaysGauges(obs.StoreGauges()...)
 		addr, err := srv.Listen(*serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpbench: serve:", err)
@@ -261,8 +325,38 @@ func main() {
 			"overhead", fmt.Sprintf("%+.2f%%", 100*(verifyWall/suite.Elapsed.Seconds()-1)))
 	}
 
+	// Cold/warm store measurement: one suite run populating the store
+	// from scratch, then one rerun against it. The warm run must serve
+	// every profile and package from disk — a nonzero miss count means
+	// the key scheme broke, which is worth failing loudly here rather
+	// than silently recording a meaningless "warm" number.
+	var storeCold, storeWarm float64
+	storeStats := storeBlock(suite)
+	if *storeComp {
+		cold, err := storeSuiteRun(opts, *storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: store cold run:", err)
+			os.Exit(1)
+		}
+		warm, err := storeSuiteRun(opts, *storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: store warm run:", err)
+			os.Exit(1)
+		}
+		if warm.StoreProfileMisses+warm.StorePackageMisses > 0 {
+			fmt.Fprintf(os.Stderr, "vpbench: warm store run missed (%d profile, %d package) — store keys are broken\n",
+				warm.StoreProfileMisses, warm.StorePackageMisses)
+			os.Exit(1)
+		}
+		storeCold = cold.Elapsed.Seconds()
+		storeWarm = warm.Elapsed.Seconds()
+		storeStats = storeBlock(warm)
+		logger.Info("store compare", "cold", cold.Elapsed, "warm", warm.Elapsed,
+			"profile_hits", warm.StoreProfileHits, "package_hits", warm.StorePackageHits)
+	}
+
 	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, suite, *scale, nreps, verifyWall); err != nil {
+		if err := writeBenchJSON(*benchjson, suite, *scale, nreps, verifyWall, storeCold, storeWarm, storeStats); err != nil {
 			fmt.Fprintln(os.Stderr, "vpbench:", err)
 			os.Exit(1)
 		}
@@ -310,6 +404,22 @@ func main() {
 		fmt.Println(suite.Figure9())
 		fmt.Println(suite.Figure10())
 	}
+}
+
+// storeSuiteRun runs one observerless suite against the store in dir,
+// opening and closing the store around the run so the next call starts
+// from the manifest on disk — a genuine warm restart, not a shared
+// in-memory handle.
+func storeSuiteRun(opts report.Options, dir string) (*report.Suite, error) {
+	s, err := cas.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	runOpts := opts
+	runOpts.Observer = nil
+	runOpts.Store = s
+	return report.RunSuite(runOpts)
 }
 
 // writeTrace dumps the recorder's trace as indented JSON.
@@ -421,7 +531,7 @@ type trajectory struct {
 	Latest  benchJSON         `json:"latest"`
 }
 
-func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, verifyWall float64) error {
+func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, verifyWall, storeCold, storeWarm float64, storeStats *benchStore) error {
 	wall := suite.Elapsed.Seconds()
 	rec := benchJSON{
 		Schema:      "vpbench-suite/v1",
@@ -443,6 +553,9 @@ func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, ver
 			rec.VerifyOverheadFraction = &f
 		}
 	}
+	rec.StoreColdWallSeconds = storeCold
+	rec.StoreWarmWallSeconds = storeWarm
+	rec.Store = storeStats
 	if wall > 0 {
 		rec.InstsPerSecond = float64(rec.TotalInsts) / wall
 	}

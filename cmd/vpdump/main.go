@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/cas"
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -109,6 +110,7 @@ func main() {
 		driftOn    = flag.Bool("drift", false, "print a self-baselined drift report instead of DOT")
 		driftShift = flag.Bool("driftshift", false, "with -drift: phase-shift the replayed half so the score rises")
 		driftf     = cliflags.DriftFlags(flag.CommandLine)
+		storeDir   = cliflags.StoreFlag(flag.CommandLine)
 		logf       = cliflags.LogFlags(flag.CommandLine, "suppress profiling/stage diagnostics (same as -log off)")
 	)
 	flag.Parse()
@@ -153,9 +155,21 @@ func main() {
 		}
 		return
 	}
+	// -store reuses a persisted profile for the -pkg pipeline run (and
+	// writes one through on a miss), so repeated dumps of the same
+	// benchmark skip the profiling pass.
+	var store *cas.Store
+	if *storeDir != "" {
+		s, err := cas.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer s.Close()
+		store = s
+	}
 	if *pkgIdx >= 0 {
 		rec := obs.NewRecorder()
-		out, err := core.RunObserved(cfg, p, rec)
+		out, err := cas.PipelineObserved(store, cfg, p, rec)
 		if out != nil {
 			logProfileStats(core.ProfileStats{
 				Insts: out.ProfileInsts, Branches: out.ProfileBranches, Detections: out.Detections,

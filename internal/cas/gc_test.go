@@ -1,0 +1,155 @@
+package cas
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock installs a controllable clock on the store.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func openClocked(t *testing.T, dir string) (*Store, *fakeClock) {
+	t.Helper()
+	s := open(t, dir)
+	c := &fakeClock{t: time.Unix(1_000_000, 0)}
+	s.now = c.now
+	return s, c
+}
+
+// TestGCAge: entries older than maxAge are evicted, younger ones and
+// their bytes survive, and the reclaimed byte count is real.
+func TestGCAge(t *testing.T) {
+	s, clk := openClocked(t, t.TempDir())
+	oldData := blob(1, 2*chunkSize)
+	mustPut(t, s, KindProfile, Key{A: 1}, oldData)
+	clk.advance(2 * time.Hour)
+	newData := blob(2, chunkSize)
+	mustPut(t, s, KindProfile, Key{A: 2}, newData)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().DiskBytes
+
+	res, err := s.GC(0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedEntries != 1 || res.LiveEntries != 1 {
+		t.Fatalf("gc = %+v, want 1 dropped 1 live", res)
+	}
+	if res.ReclaimedBytes <= 0 || s.Stats().DiskBytes >= before {
+		t.Fatalf("gc reclaimed %d bytes (disk %d -> %d)", res.ReclaimedBytes, before, s.Stats().DiskBytes)
+	}
+	if s.Has(KindProfile, Key{A: 1}) {
+		t.Fatal("aged entry survived")
+	}
+	mustGet(t, s, KindProfile, Key{A: 2}, newData)
+	if errs := s.Verify(); len(errs) != 0 {
+		t.Fatalf("verify after gc: %v", errs)
+	}
+}
+
+// TestGCSize: the size budget evicts oldest-first until the live payload
+// fits.
+func TestGCSize(t *testing.T) {
+	s, clk := openClocked(t, t.TempDir())
+	for i := uint64(1); i <= 4; i++ {
+		mustPut(t, s, KindProfile, Key{A: i}, blob(byte(i), 10_000))
+		clk.advance(time.Minute)
+	}
+	res, err := s.GC(25_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedEntries != 2 {
+		t.Fatalf("dropped = %d, want 2 (oldest two)", res.DroppedEntries)
+	}
+	if s.Has(KindProfile, Key{A: 1}) || s.Has(KindProfile, Key{A: 2}) {
+		t.Fatal("size gc evicted the wrong entries")
+	}
+	mustGet(t, s, KindProfile, Key{A: 3}, blob(3, 10_000))
+	mustGet(t, s, KindProfile, Key{A: 4}, blob(4, 10_000))
+}
+
+// TestGCRefcount: a chunk shared by an evicted and a surviving entry
+// survives; eviction of one referent never tears content out from under
+// another.
+func TestGCRefcount(t *testing.T) {
+	s, clk := openClocked(t, t.TempDir())
+	shared := blob(7, 2*chunkSize)
+	mustPut(t, s, KindProfile, Key{A: 1}, shared)
+	clk.advance(2 * time.Hour)
+	mustPut(t, s, KindPackageSet, Key{A: 1}, shared) // same content, young entry
+	res, err := s.GC(0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedEntries != 1 {
+		t.Fatalf("dropped = %d, want 1", res.DroppedEntries)
+	}
+	mustGet(t, s, KindPackageSet, Key{A: 1}, shared)
+	if errs := s.Verify(); len(errs) != 0 {
+		t.Fatalf("verify: %v", errs)
+	}
+}
+
+// TestGCCompactsOverwrites: overwriting a key strands its old chunks;
+// GC(0,0) — no eviction policy at all — still reclaims them.
+func TestGCCompactsOverwrites(t *testing.T) {
+	s, _ := openClocked(t, t.TempDir())
+	mustPut(t, s, KindProfile, Key{A: 1}, blob(1, 3*chunkSize))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, KindProfile, Key{A: 1}, blob(2, 100))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().DiskBytes
+	res, err := s.GC(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReclaimedBytes <= 0 || s.Stats().DiskBytes >= before {
+		t.Fatalf("compaction reclaimed %d (disk %d -> %d)", res.ReclaimedBytes, before, s.Stats().DiskBytes)
+	}
+	mustGet(t, s, KindProfile, Key{A: 1}, blob(2, 100))
+	// A second collection finds nothing.
+	res2, err := s.GC(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ReclaimedBytes != 0 || res2.DroppedEntries != 0 {
+		t.Fatalf("idle gc = %+v, want no-op", res2)
+	}
+}
+
+// TestGCPersists: the post-GC state survives a reopen (the manifest was
+// rewritten and the dead segments deleted).
+func TestGCPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, clk := openClocked(t, dir)
+	mustPut(t, s, KindProfile, Key{A: 1}, blob(1, 50_000))
+	clk.advance(2 * time.Hour)
+	mustPut(t, s, KindProfile, Key{A: 2}, blob(2, 50_000))
+	if _, err := s.GC(0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	if s2.Has(KindProfile, Key{A: 1}) {
+		t.Fatal("evicted entry resurrected by reopen")
+	}
+	mustGet(t, s2, KindProfile, Key{A: 2}, blob(2, 50_000))
+	if errs := s2.Verify(); len(errs) != 0 {
+		t.Fatalf("verify: %v", errs)
+	}
+	if st := s2.Stats(); st.Segments != 1 {
+		t.Fatalf("segments after gc+reopen = %d, want 1", st.Segments)
+	}
+}

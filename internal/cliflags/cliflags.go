@@ -89,6 +89,15 @@ func VerifyFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
 }
 
+// StoreFlag registers -store on fs. Every tool parses it identically:
+// an empty value (the default) keeps today's in-memory-only behavior;
+// a directory enables the persistent artifact store there. Open the
+// returned path with cas.Open (cliflags deliberately does not import
+// internal/cas; lowering the flag to a live store is the tool's call).
+func StoreFlag(fs *flag.FlagSet) *string {
+	return fs.String("store", "", "persistent artifact store `directory` (empty: in-memory only)")
+}
+
 // Drift carries the drift-tracking pair: window and ring sizing. The
 // same knobs size vpackd's live trackers, vpbench's phase-shift
 // assertions and vpdump's offline drift report, so a score measured by

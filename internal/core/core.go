@@ -126,6 +126,44 @@ func (cfg Config) ProfileKey() uint64 {
 	return h.Sum64()
 }
 
+// Hash returns a canonical hash of the complete configuration — every
+// knob that can change any pipeline artifact. It extends ProfileKey with
+// the region, packaging, optimization and phase-cap knobs, so it is the
+// second half of the store's package-set key: two configs with equal
+// Hash produce byte-identical RegionArtifacts and PackageSets on the
+// same image. The Verify gate and the Pack.Verify hook deliberately do
+// not participate: verification rejects bad outputs but never changes
+// good ones, and func identities are not configuration.
+func (cfg Config) Hash() uint64 {
+	h := fnv.New64a()
+	pk := cfg.Pack
+	pk.Verify = nil
+	fmt.Fprintf(h, "%+v", struct {
+		Detector          hsd.Config
+		Filter            phasedb.Config
+		Region            region.Config
+		Pack              pack.Config
+		Sched             opt.Resources
+		EnableLayout      bool
+		EnableSchedule    bool
+		EnableMerge       bool
+		EnableSink        bool
+		ApproxWeights     bool
+		HistoryDepth      int
+		HistorySimilarity float64
+		MaxPhases         int
+		ProfileLimit      uint64
+		EntrySeedWeight   float64
+	}{
+		cfg.Detector, cfg.Filter, cfg.Region, pk, cfg.Sched,
+		cfg.EnableLayout, cfg.EnableSchedule, cfg.EnableMerge,
+		cfg.EnableSink, cfg.ApproxWeights,
+		cfg.HistoryDepth, cfg.HistorySimilarity,
+		cfg.MaxPhases, cfg.ProfileLimit, cfg.EntrySeedWeight,
+	})
+	return h.Sum64()
+}
+
 // ScaledConfig returns DefaultConfig with the workload-scaled Hot Spot
 // Detector (hsd.ScaledConfig). The evaluation suite uses this
 // configuration; see DESIGN.md for the scaling substitution rationale.

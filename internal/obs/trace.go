@@ -166,6 +166,36 @@ func EngineCounters() []string {
 	}
 }
 
+// Canonical metric names for the persistent artifact store
+// (internal/cas): hit/miss traffic against the (kind, key) index, the
+// on-disk footprint, and GC reclamation. The suite additionally splits
+// traffic by artifact class (store.profile_* / store.package_*) for its
+// own assertions; the unsuffixed pair aggregates.
+const (
+	StoreHitsCounter          = "store.hits"
+	StoreMissesCounter        = "store.misses"
+	StoreGCReclaimedCounter   = "store.gc_reclaimed"
+	StoreProfileHitsCounter   = "store.profile_hits"
+	StoreProfileMissesCounter = "store.profile_misses"
+	StorePackageHitsCounter   = "store.package_hits"
+	StorePackageMissesCounter = "store.package_misses"
+	StoreBytesGauge           = "store.bytes"
+	StoreSegmentsGauge        = "store.segments"
+)
+
+// StoreCounters lists the store counter names the serving tier always
+// exposes (zero without a -store), so cache hit rates can be dashboarded
+// without series gaps.
+func StoreCounters() []string {
+	return []string{StoreHitsCounter, StoreMissesCounter, StoreGCReclaimedCounter}
+}
+
+// StoreGauges lists the store gauge names the serving tier always
+// exposes.
+func StoreGauges() []string {
+	return []string{StoreBytesGauge, StoreSegmentsGauge}
+}
+
 // Canonical metric names for the continuous-optimization daemon
 // (cmd/vpackd): stream and repack counters, the bounded-queue depth
 // gauge, and the repack wall-time histogram. Per-program stream counters
@@ -175,8 +205,11 @@ const (
 	DaemonRepacksCounter       = "vpackd.repacks"
 	DaemonQueueRejectedCounter = "vpackd.queue_rejected"
 	DaemonVersionsCounter      = "vpackd.versions"
-	DaemonQueueDepthGauge      = "vpackd.queue_depth"
-	DaemonRepackLatencyHist    = "vpackd.repack_latency_us"
+	// DaemonRecoveredCounter counts versions reloaded from the artifact
+	// store at boot — served immediately without a repack.
+	DaemonRecoveredCounter  = "vpackd.versions_recovered"
+	DaemonQueueDepthGauge   = "vpackd.queue_depth"
+	DaemonRepackLatencyHist = "vpackd.repack_latency_us"
 	// DaemonQueueWaitHist measures enqueue-to-worker-pickup latency: how
 	// long a shard sat in the bounded repack queue before a worker drained
 	// it. Together with DaemonRepackLatencyHist (pickup to publish) it
@@ -191,6 +224,7 @@ func DaemonCounters() []string {
 	return []string{
 		DaemonRecordsCounter, DaemonRepacksCounter,
 		DaemonQueueRejectedCounter, DaemonVersionsCounter,
+		DaemonRecoveredCounter,
 	}
 }
 

@@ -11,8 +11,10 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/obs"
@@ -50,6 +52,16 @@ type Options struct {
 	// paper order after the pool drains, so the merged stream is identical
 	// at every Jobs setting (span wall times aside).
 	Observer obs.Observer
+	// Store, when non-nil, is the persistent artifact store: profiles
+	// (with their baseline timings) and per-variant region artifacts and
+	// package sets are looked up before being computed and written
+	// through after. A fully warm store makes the suite skip every
+	// profile, region and package stage — the rerun costs the timed
+	// evaluation plus I/O. Each lookup emits store.* hit/miss counters
+	// alongside the profile_memo.* ones; results are bit-identical with
+	// the store warm, cold or absent. RunSuite flushes the store before
+	// returning.
+	Store *cas.Store
 }
 
 // VariantResult is one bar of Figures 8/10 for one input.
@@ -126,6 +138,24 @@ type Suite struct {
 	// count the run actually used.
 	Elapsed time.Duration
 	Jobs    int
+
+	// Store traffic for the run, all zero without Options.Store: lookup
+	// hits/misses split by artifact class (a package hit means the
+	// variant's region+package stages were skipped wholesale), and the
+	// store's on-disk shape after the final flush. A fully warm run has
+	// zero misses and StorePackageHits == 4 × inputs.
+	StoreProfileHits   uint64
+	StoreProfileMisses uint64
+	StorePackageHits   uint64
+	StorePackageMisses uint64
+	StoreBytes         int64
+	StoreSegments      int
+}
+
+// storeTally accumulates store traffic across concurrent work items.
+type storeTally struct {
+	profileHits, profileMisses atomic.Uint64
+	packageHits, packageMisses atomic.Uint64
 }
 
 // TotalInsts sums the profiled dynamic instruction counts of every input.
@@ -198,6 +228,27 @@ func (pm *profileMemo) profile(cfg core.Config, mc cpu.Config, img *prog.Image, 
 		}
 	})
 	return e.pa, e.base, e.err
+}
+
+// prime installs a precomputed profiling result (a store hit) under key,
+// so every later profile() call for that key is a memo hit and the pass
+// never runs. A prime racing a compute loses cleanly: whoever fires the
+// entry's once first wins and both see one consistent result.
+func (pm *profileMemo) prime(key uint64, pa *core.ProfileArtifact, base cpu.TimingStats) {
+	pm.mu.Lock()
+	e, ok := pm.entries[key]
+	if !ok {
+		if pm.entries == nil {
+			pm.entries = make(map[uint64]*profileEntry)
+		}
+		e = &profileEntry{}
+		pm.entries[key] = e
+	}
+	pm.mu.Unlock()
+	e.once.Do(func() {
+		e.pa = pa
+		e.base = base
+	})
 }
 
 // RunSuite executes the pipeline for every benchmark input and variant.
@@ -300,10 +351,11 @@ func RunSuite(opts Options) (*Suite, error) {
 	// Fan out over the shared bounded pool (ForEachN); jobs == 1 runs the
 	// same closure inline in paper order.
 	parallel := jobs != 1
+	tally := &storeTally{}
 	ForEachN(jobs, len(items), func(idx int) {
 		it := items[idx]
 		io2, rec := itemObserver()
-		ir, err := runInput(opts, it.b, it.in, parallel, io2)
+		ir, err := runInput(opts, it.b, it.in, parallel, io2, tally)
 		if rec != nil {
 			traces[idx] = rec.Export()
 		}
@@ -330,6 +382,25 @@ func RunSuite(opts Options) (*Suite, error) {
 	for _, ir := range results {
 		suite.Results = append(suite.Results, *ir)
 	}
+	if opts.Store != nil {
+		// Persist everything written through during the run; the caller
+		// asked for durability, so a failing flush fails the suite.
+		if err := opts.Store.Flush(); err != nil {
+			return nil, err
+		}
+		suite.StoreProfileHits = tally.profileHits.Load()
+		suite.StoreProfileMisses = tally.profileMisses.Load()
+		suite.StorePackageHits = tally.packageHits.Load()
+		suite.StorePackageMisses = tally.packageMisses.Load()
+		sst := opts.Store.Stats()
+		suite.StoreBytes = sst.DiskBytes
+		suite.StoreSegments = sst.Segments
+		// Gauges after the single end-of-suite flush: segment contents are
+		// written in sorted chunk order, so these values are deterministic
+		// at every Jobs setting.
+		o.Gauge(obs.StoreBytesGauge, float64(sst.DiskBytes))
+		o.Gauge(obs.StoreSegmentsGauge, float64(sst.Segments))
+	}
 	if opts.Logger != nil {
 		opts.Logger.Info("suite complete", "items", len(items), "jobs", jobs,
 			"elapsed", suite.Elapsed, "insts", suite.TotalInsts())
@@ -341,7 +412,14 @@ func RunSuite(opts Options) (*Suite, error) {
 // concurrently when parallel is set. The profiled program, its image and
 // the phase database are shared read-only across variants; each variant
 // packages and times its own clone.
-func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel bool, o obs.Observer) (*InputResult, error) {
+//
+// With a store, the profile (and its companion baseline timing) is
+// looked up under (ImageHash, ProfileKey) first: a hit primes the memo
+// so the profile pass never runs; a miss runs it cold and writes both
+// artifacts through. Store write failures are deliberately non-fatal
+// here — a full disk degrades the cache, not the science — the
+// end-of-suite Flush is where persistence problems surface.
+func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel bool, o obs.Observer, tally *storeTally) (*InputResult, error) {
 	start := time.Now()
 	sp := obs.Span{}
 	if o.Enabled() {
@@ -353,14 +431,39 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 	if err != nil {
 		return nil, err
 	}
+	imgHash := core.ImageHash(img)
 	// Prime the cross-variant memo eagerly under the item observer: the
 	// single profile pass (HSD profile + baseline timing in one run) lands
 	// ahead of the variant spans in the trace, and every variant whose
 	// profiling sub-config matches — all four paper variants — hits.
 	memo := &profileMemo{}
+	storedProfile := false
+	if opts.Store != nil {
+		key := opts.Core.ProfileKey()
+		mkey := cas.MachineKey(opts.Machine)
+		if spa, gerr := opts.Store.GetProfileArtifact(imgHash, key); gerr == nil {
+			if sbase, berr := opts.Store.GetBaseline(imgHash, mkey); berr == nil {
+				memo.prime(key, spa, sbase)
+				storedProfile = true
+			}
+		}
+		if storedProfile {
+			o.Count(obs.StoreHitsCounter, 1)
+			o.Count(obs.StoreProfileHitsCounter, 1)
+			tally.profileHits.Add(1)
+		} else {
+			o.Count(obs.StoreMissesCounter, 1)
+			o.Count(obs.StoreProfileMissesCounter, 1)
+			tally.profileMisses.Add(1)
+		}
+	}
 	pa, base, err := memo.profile(opts.Core, opts.Machine, img, o)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Store != nil && !storedProfile {
+		_ = opts.Store.PutProfileArtifact(imgHash, opts.Core.ProfileKey(), pa)
+		_ = opts.Store.PutBaseline(imgHash, cas.MachineKey(opts.Machine), base)
 	}
 	db := pa.DB()
 
@@ -394,7 +497,7 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 					rec = obs.NewRecorder()
 					vo = rec
 				}
-				ir.Variants[i], verrs[i] = runVariant(opts, p, img, memo, v, vo)
+				ir.Variants[i], verrs[i] = runVariant(opts, p, img, imgHash, memo, v, vo, tally)
 				if rec != nil {
 					vtraces[i] = rec.Export()
 				}
@@ -406,7 +509,7 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 		}
 	} else {
 		for i, v := range variants {
-			ir.Variants[i], verrs[i] = runVariant(opts, p, img, memo, v, o)
+			ir.Variants[i], verrs[i] = runVariant(opts, p, img, imgHash, memo, v, o, tally)
 		}
 	}
 	if err := errors.Join(verrs...); err != nil {
@@ -424,7 +527,15 @@ func runInput(opts Options, b *workload.Benchmark, in workload.Input, parallel b
 // RegionStage and PackageStage against the clone's image, whose hash
 // matches the profiled image by the Clone-preserves-linearization
 // property the stages' staleness checks enforce.
-func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMemo, v core.Variant, o obs.Observer) (VariantResult, error) {
+// With a store, the variant first looks up its package set (and the
+// region artifact that carries the phase count) under the clone-free
+// key (ImageHash, Config.Hash): a hit rematerializes the packed program
+// from the stored assembly — verified against the set's PackedHash, so
+// corruption degrades to a recompute — and goes straight to the timed
+// run, skipping clone, region and package stages wholesale. The timed
+// evaluation is deterministic, so warm results equal cold results
+// exactly.
+func runVariant(opts Options, p *prog.Program, img *prog.Image, imgHash uint64, memo *profileMemo, v core.Variant, o obs.Observer, tally *storeTally) (VariantResult, error) {
 	sp := obs.Span{}
 	if o.Enabled() {
 		sp = o.StartSpan("variant:" + v.Name())
@@ -436,6 +547,19 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
 	st := pa.Stats
+	var cfgHash uint64
+	if opts.Store != nil {
+		cfgHash = cfg.Hash()
+		if vr, ok := storedVariant(opts, imgHash, cfgHash, v, base, st, o); ok {
+			o.Count(obs.StoreHitsCounter, 1)
+			o.Count(obs.StorePackageHitsCounter, 1)
+			tally.packageHits.Add(1)
+			return vr, nil
+		}
+		o.Count(obs.StoreMissesCounter, 1)
+		o.Count(obs.StorePackageMissesCounter, 1)
+		tally.packageMisses.Add(1)
+	}
 	clone := p.Clone()
 	// The clone linearizes identically to the profiled program (IDs
 	// and layout are preserved), so the phase database's PCs map onto
@@ -458,27 +582,17 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: %w", v.Name(), err)
 	}
-	esp := o.StartSpan(obs.StageEvaluate)
-	var bc *cpu.BlockCache
-	if !opts.Machine.DisableBlockCache {
-		bc = cpu.NewBlockCache(packedImg)
-	}
-	stats, m, err := cpu.RunTimedCached(opts.Machine, packedImg, 0, bc)
-	esp.End()
+	stats, bc, h, n, err := timePacked(opts, packedImg, o)
 	if err != nil {
 		return VariantResult{}, fmt.Errorf("variant %s: timed run: %w", v.Name(), err)
 	}
-	o.Observe("eval.cycles", float64(stats.Cycles))
-	if bc != nil {
-		o.Count(obs.BlockCacheHitsCounter, int64(bc.Stats.Hits+bc.Stats.Chained))
-		o.Count(obs.BlockCacheMissesCounter, int64(bc.Stats.Misses))
-		o.Count(obs.BlockCacheEvictionsCounter, int64(bc.Stats.Evicted))
-		o.Count(obs.SuperblockPromotedCounter, int64(bc.SB.Promoted))
-		o.Count(obs.SuperblockDemotedCounter, int64(bc.SB.Demoted))
-		o.Count(obs.SuperblockSideExitsCounter, int64(bc.SB.SideExits))
-		o.Count(obs.SuperblockChainedCounter, int64(bc.SB.ChainedInsts))
+	if opts.Store != nil {
+		// Write-through (best effort; the end-of-suite Flush surfaces
+		// persistence problems). Encoding disassembles the packed program,
+		// so only store-enabled cold runs pay it.
+		_ = opts.Store.PutRegionArtifact(cfgHash, ra)
+		_ = opts.Store.PutPackageSet(cfgHash, set)
 	}
-	h, n := m.DataHash()
 	vr := VariantResult{
 		Variant:    v,
 		Coverage:   stats.PackageCoverage(),
@@ -491,6 +605,86 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 		Phases:     ra.NumRegions(),
 		Equivalent: h == st.DataHash && n == st.DataStores,
 	}
+	fillTimed(&vr, stats, bc, base)
+	return vr, nil
+}
+
+// storedVariant attempts the warm path: fetch the variant's package set
+// and region artifact, rematerialize the packed program and verify its
+// image against the set's PackedHash, then run the timed evaluation.
+// Any failure — missing entry, corruption, hash mismatch — returns
+// ok == false and the caller recomputes cold.
+func storedVariant(opts Options, imgHash, cfgHash uint64, v core.Variant, base cpu.TimingStats, st core.ProfileStats, o obs.Observer) (VariantResult, bool) {
+	set, err := opts.Store.GetPackageSet(imgHash, cfgHash)
+	if err != nil {
+		return VariantResult{}, false
+	}
+	ra, err := opts.Store.GetRegionArtifact(imgHash, cfgHash)
+	if err != nil {
+		return VariantResult{}, false
+	}
+	packed, err := set.Materialize()
+	if err != nil {
+		return VariantResult{}, false
+	}
+	packedImg, err := packed.Linearize()
+	if err != nil {
+		return VariantResult{}, false
+	}
+	if set.PackedHash == 0 || core.ImageHash(packedImg) != set.PackedHash {
+		return VariantResult{}, false
+	}
+	stats, bc, h, n, err := timePacked(opts, packedImg, o)
+	if err != nil {
+		return VariantResult{}, false
+	}
+	vr := VariantResult{
+		Variant:    v,
+		Coverage:   stats.PackageCoverage(),
+		Growth:     set.CodeGrowth(),
+		Selected:   set.SelectedFraction(),
+		Repl:       set.Replication(),
+		Packages:   set.Stats.Packages,
+		Links:      set.Stats.Links,
+		Launch:     set.Stats.LaunchPoints,
+		Phases:     ra.NumRegions(),
+		Equivalent: h == st.DataHash && n == st.DataStores,
+	}
+	fillTimed(&vr, stats, bc, base)
+	return vr, true
+}
+
+// timePacked runs the timed evaluation of one packed image inside an
+// evaluate span, emitting the engine counters — the shared tail of the
+// cold and warm variant paths.
+func timePacked(opts Options, packedImg *prog.Image, o obs.Observer) (cpu.TimingStats, *cpu.BlockCache, uint64, uint64, error) {
+	esp := o.StartSpan(obs.StageEvaluate)
+	var bc *cpu.BlockCache
+	if !opts.Machine.DisableBlockCache {
+		bc = cpu.NewBlockCache(packedImg)
+	}
+	stats, m, err := cpu.RunTimedCached(opts.Machine, packedImg, 0, bc)
+	esp.End()
+	if err != nil {
+		return cpu.TimingStats{}, nil, 0, 0, err
+	}
+	o.Observe("eval.cycles", float64(stats.Cycles))
+	if bc != nil {
+		o.Count(obs.BlockCacheHitsCounter, int64(bc.Stats.Hits+bc.Stats.Chained))
+		o.Count(obs.BlockCacheMissesCounter, int64(bc.Stats.Misses))
+		o.Count(obs.BlockCacheEvictionsCounter, int64(bc.Stats.Evicted))
+		o.Count(obs.SuperblockPromotedCounter, int64(bc.SB.Promoted))
+		o.Count(obs.SuperblockDemotedCounter, int64(bc.SB.Demoted))
+		o.Count(obs.SuperblockSideExitsCounter, int64(bc.SB.SideExits))
+		o.Count(obs.SuperblockChainedCounter, int64(bc.SB.ChainedInsts))
+	}
+	h, n := m.DataHash()
+	return stats, bc, h, n, nil
+}
+
+// fillTimed copies the timed run's engine fields and speedup into the
+// variant result.
+func fillTimed(vr *VariantResult, stats cpu.TimingStats, bc *cpu.BlockCache, base cpu.TimingStats) {
 	vr.TimedInsts = stats.Insts
 	if bc != nil {
 		vr.BlockCacheHits = bc.Stats.Hits + bc.Stats.Chained
@@ -503,5 +697,4 @@ func runVariant(opts Options, p *prog.Program, img *prog.Image, memo *profileMem
 	if stats.Cycles > 0 {
 		vr.Speedup = float64(base.Cycles) / float64(stats.Cycles)
 	}
-	return vr, nil
 }

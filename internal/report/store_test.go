@@ -1,0 +1,189 @@
+package report
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cas"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/obs"
+)
+
+// storeOpts builds a small-suite Options bound to a store.
+func storeOpts(t *testing.T, dir string, o obs.Observer) (Options, *cas.Store) {
+	t.Helper()
+	s, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		Benchmarks:    []string{"m88ksim"},
+		ScaleOverride: 1,
+		Observer:      o,
+		Store:         s,
+	}, s
+}
+
+// stripElapsed zeroes wall-clock fields so suites compare structurally.
+func stripElapsed(s *Suite) *Suite {
+	cp := *s
+	cp.Elapsed = 0
+	cp.Results = append([]InputResult(nil), s.Results...)
+	for i := range cp.Results {
+		cp.Results[i].Elapsed = 0
+	}
+	return &cp
+}
+
+// TestRunSuiteStoreWarm is the acceptance test for the warm path: a
+// cold store-backed run misses everything and writes through; the warm
+// rerun hits everything — store hits == expected, zero misses — and
+// executes zero profile, region and package stages, with results
+// bit-identical to the cold run.
+func TestRunSuiteStoreWarm(t *testing.T) {
+	dir := t.TempDir()
+
+	recCold := obs.NewRecorder()
+	optsCold, st := storeOpts(t, dir, recCold)
+	cold, err := RunSuite(optsCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m88ksim has one input and four variants.
+	if cold.StoreProfileMisses != 1 || cold.StorePackageMisses != 4 {
+		t.Fatalf("cold misses = %d/%d, want 1/4", cold.StoreProfileMisses, cold.StorePackageMisses)
+	}
+	if cold.StoreProfileHits != 0 || cold.StorePackageHits != 0 {
+		t.Fatalf("cold hits = %d/%d, want 0/0", cold.StoreProfileHits, cold.StorePackageHits)
+	}
+	if cold.StoreBytes == 0 || cold.StoreSegments == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", cold)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm rerun against a fresh handle on the same directory.
+	recWarm := obs.NewRecorder()
+	optsWarm, _ := storeOpts(t, dir, recWarm)
+	warm, err := RunSuite(optsWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.StoreProfileHits != 1 || warm.StorePackageHits != 4 {
+		t.Fatalf("warm hits = %d/%d, want 1/4", warm.StoreProfileHits, warm.StorePackageHits)
+	}
+	if warm.StoreProfileMisses != 0 || warm.StorePackageMisses != 0 {
+		t.Fatalf("warm misses = %d/%d, want 0/0", warm.StoreProfileMisses, warm.StorePackageMisses)
+	}
+
+	// The warm trace contains no profile/region/package stage spans —
+	// those stages never ran.
+	warmTrace := recWarm.Export()
+	for _, sp := range warmTrace.SpanTotals() {
+		switch sp.Name {
+		case obs.StageProfile, obs.StageRegion, obs.StagePackage, obs.StageLink, obs.StageOptimize, obs.StageFilter:
+			t.Errorf("warm run executed stage %q %d times", sp.Name, sp.Count)
+		}
+	}
+	// The memo never computed either: every profile() call was a hit on
+	// the primed entry.
+	if n := warmTrace.Metrics.Counters["profile_memo.misses"]; n != 0 {
+		t.Errorf("warm run recorded %d profile_memo.misses, want 0", n)
+	}
+	if n := warmTrace.Metrics.Counters[obs.StoreMissesCounter]; n != 0 {
+		t.Errorf("warm run recorded %d store.misses, want 0", n)
+	}
+	if n := warmTrace.Metrics.Counters[obs.StoreHitsCounter]; n != 5 {
+		t.Errorf("warm run recorded %d store.hits, want 5", n)
+	}
+
+	// Timed evaluation is deterministic, so warm results equal cold
+	// results exactly — coverage, speedup, growth, equivalence, engine
+	// counters, everything but wall time and the hit/miss tally itself.
+	a, b := stripElapsed(cold), stripElapsed(warm)
+	a.StoreProfileHits, a.StoreProfileMisses, a.StorePackageHits, a.StorePackageMisses = 0, 0, 0, 0
+	b.StoreProfileHits, b.StoreProfileMisses, b.StorePackageHits, b.StorePackageMisses = 0, 0, 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("warm suite differs from cold:\ncold: %+v\nwarm: %+v", a, b)
+	}
+}
+
+// TestRunSuiteStoreMatchesStoreless: results with a store (cold) are
+// bit-identical to results without one, and storeless runs report zero
+// store traffic.
+func TestRunSuiteStoreMatchesStoreless(t *testing.T) {
+	plain, err := RunSuite(Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          core.ScaledConfig(),
+		Benchmarks:    []string{"m88ksim"},
+		ScaleOverride: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.StoreProfileHits+plain.StoreProfileMisses+plain.StorePackageHits+plain.StorePackageMisses != 0 {
+		t.Fatalf("storeless run reported store traffic: %+v", plain)
+	}
+	opts, _ := storeOpts(t, t.TempDir(), nil)
+	stored, err := RunSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := stripElapsed(plain), stripElapsed(stored)
+	// Store fields differ by construction; compare the science.
+	a.StoreProfileMisses, a.StorePackageMisses = 0, 0
+	b.StoreProfileMisses, b.StorePackageMisses = 0, 0
+	a.StoreBytes, a.StoreSegments = 0, 0
+	b.StoreBytes, b.StoreSegments = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("store-backed cold results differ from storeless results")
+	}
+}
+
+// normalizedTraceJSON renders a recorder's normalized trace for
+// byte-exact comparison.
+func normalizedTraceJSON(t *testing.T, rec *obs.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.Export().Normalize().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunSuiteStoreParallelDeterminism: warm store runs produce
+// identical traces at -j1 and -j4 (the store counters merge in paper
+// order like everything else), and identical results.
+func TestRunSuiteStoreParallelDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	seed, _ := storeOpts(t, dir, nil)
+	if _, err := RunSuite(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(jobs int) (*Suite, []byte) {
+		rec := obs.NewRecorder()
+		opts, _ := storeOpts(t, dir, rec)
+		opts.Benchmarks = []string{"m88ksim"}
+		opts.Jobs = jobs
+		s, err := RunSuite(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, normalizedTraceJSON(t, rec)
+	}
+	s1, t1 := run(1)
+	s4, t4 := run(4)
+	if !reflect.DeepEqual(stripElapsed(s1), stripElapsed(s4)) {
+		t.Fatal("warm results differ across -j")
+	}
+	if string(t1) != string(t4) {
+		t.Fatal("warm traces differ across -j")
+	}
+}

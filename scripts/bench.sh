@@ -46,9 +46,20 @@ echo "== full suite wall time (scale 1, default -j) + verifier overhead =="
 # noise-bounded on single-core hosts. Best-of-7 on both sides keeps
 # scheduler luck out of the comparison, and the recorded fraction floors
 # at zero (the verifier cannot make the suite faster).
-go run ./cmd/vpbench -q -scale 1 -reps 7 -verifyoverhead -benchjson BENCH_pipeline.json >/dev/null
+#
+# -storecompare additionally times one suite run against a fresh artifact
+# store (cold: everything computed and written through) and one against
+# the store it left behind (warm: every profile and package served from
+# disk, zero misses or vpbench exits nonzero), recording both walls and
+# the warm hit tally under store_cold_wall_seconds / store_warm_wall_seconds
+# / "store" in the benchjson. The main suite stays storeless so
+# wall_seconds remains comparable across PRs.
+store_tmp="$(mktemp -d)"
+trap 'rm -rf "$store_tmp"' EXIT
+go run ./cmd/vpbench -q -scale 1 -reps 7 -verifyoverhead \
+  -store "$store_tmp" -storecompare -benchjson BENCH_pipeline.json >/dev/null
 echo "BENCH_pipeline.json refreshed:"
-grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"|"superblock_|"verify_' BENCH_pipeline.json | tail -10
+grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"|"superblock_|"verify_|"store_' BENCH_pipeline.json | tail -12
 
 echo
 echo "== drift-tracker ingest cost (internal/drift) =="
@@ -57,7 +68,7 @@ echo "== drift-tracker ingest cost (internal/drift) =="
 # disabled tracker (-driftwindow 0), which must be within noise of free —
 # a single atomic-free Enabled() check per record.
 drift_tmp="$(mktemp)"
-trap 'rm -f "$drift_tmp"' EXIT
+trap 'rm -f "$drift_tmp"; rm -rf "$store_tmp"' EXIT
 go test -run '^$' -bench 'BenchmarkTrackerObserve' \
   -benchtime "$BENCHTIME" ./internal/drift/ | tee "$drift_tmp"
 drift_on=$(awk '$1 ~ /^BenchmarkTrackerObserve-|^BenchmarkTrackerObserve$/ {print $3}' "$drift_tmp")
@@ -66,7 +77,7 @@ drift_off=$(awk '$1 ~ /^BenchmarkTrackerObserveDisabled/ {print $3}' "$drift_tmp
 echo
 echo "== observer overhead (disabled vs enabled suite run) =="
 obs_tmp="$(mktemp)"
-trap 'rm -f "$obs_tmp" "$drift_tmp"' EXIT
+trap 'rm -f "$obs_tmp" "$drift_tmp"; rm -rf "$store_tmp"' EXIT
 go run ./cmd/vpbench -q -scale 1 -metrics -benchjson "$obs_tmp" >/dev/null
 # The trajectory file repeats "wall_seconds" in history entries; the last
 # occurrence is this run's `latest` block. The tmp file has only one.

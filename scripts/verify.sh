@@ -33,6 +33,10 @@ go test -race ./cmd/vpackd/... ./internal/core/...
 # Drift telemetry: windowed trackers and the bounded event ring under
 # concurrent writers/readers.
 go test -race ./internal/drift/...
+# Persistent artifact store: chunked segments, manifest recovery,
+# corruption-safety (truncated/bit-flipped/missing segments, stale or
+# tampered manifests) and GC, all under the race detector.
+go test -race ./internal/cas/...
 
 # Verifier-gated pipeline pass: every stage's output re-checked against
 # the internal/verify rule catalog on a real multi-benchmark run. Any
@@ -55,6 +59,29 @@ go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -superblock=off -tr
 go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
 go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -blockcache=off -trace "$trace_tmp" >/dev/null
 go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
+# Fourth pass: -store enabled against a fresh directory. The store-aware
+# pipeline path must emit a byte-identical trace (profile write-through
+# happens outside the observed spans), so the same golden gates it.
+store_tmp="$(mktemp -d)"
+trap 'rm -f "$trace_tmp"; rm -rf "$store_tmp"' EXIT
+go run ./cmd/vpack -bench gzip -input A -scale 1 -q -log off -store "$store_tmp/st" -trace "$trace_tmp" >/dev/null
+go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp"
+
+# Store cold→warm→restart smoke. Cold suite populates a fresh store;
+# the warm rerun must serve every profile and package from it (vpbench
+# exits nonzero on any warm miss, and the benchjson records the tally —
+# assert it here too); vpcache must verify the store clean.
+go build -o bin/vpbench ./cmd/vpbench
+go build -o bin/vpcache ./cmd/vpcache
+bin/vpbench -q -bench m88ksim,perl -scale 1 -store "$store_tmp/suite" -storecompare \
+    -benchjson "$store_tmp/bench.json" >/dev/null
+grep -q '"profile_misses": 0' "$store_tmp/bench.json" \
+    || { echo "warm store run recorded profile misses" >&2; exit 1; }
+grep -q '"package_misses": 0' "$store_tmp/bench.json" \
+    || { echo "warm store run recorded package misses" >&2; exit 1; }
+grep -q '"store_warm_wall_seconds"' "$store_tmp/bench.json" \
+    || { echo "benchjson missing store wall times" >&2; exit 1; }
+bin/vpcache verify -store "$store_tmp/suite" >/dev/null
 
 # Daemon smoke test: boot vpackd on a free port, stream 100 hot-spot
 # records from 8 concurrent clients (vpbench's load-generator mode,
@@ -69,7 +96,7 @@ go run ./cmd/vptrace diff -threshold 0.10 testdata/trace_golden.json "$trace_tmp
 # shift burst spans whole tracker windows.
 daemon_dir="$(mktemp -d)"
 daemon_pid=""
-trap 'rm -f "$trace_tmp"; rm -rf "$daemon_dir"; [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
+trap 'rm -f "$trace_tmp"; rm -rf "$store_tmp" "$daemon_dir"; [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
 go build -o bin/vpackd ./cmd/vpackd
 go build -o bin/vpbench ./cmd/vpbench
 go build -o bin/vptrace ./cmd/vptrace
@@ -97,5 +124,43 @@ bin/vptrace drift "$daemon_dir/trace.json" | grep -q '^m88ksim' \
     || { echo "vptrace drift view missing m88ksim row" >&2; exit 1; }
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "vpackd did not exit cleanly" >&2; exit 1; }
+daemon_pid=""
+
+# Daemon store restart: boot with -store, ingest enough records to
+# trigger a repack (which persists the version + provenance), SIGTERM
+# (drains and fsyncs the manifest), then reboot on the same store
+# directory and fetch the previous latest package and provenance
+# WITHOUT streaming a single record — restart recovery, not a repack.
+bin/vpackd -addr 127.0.0.1:0 -addrfile "$daemon_dir/addr2" -bench m88ksim -scale 1 -batch 10 \
+    -store "$daemon_dir/store" -log off &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$daemon_dir/addr2" ] && break
+    sleep 0.1
+done
+[ -s "$daemon_dir/addr2" ] || { echo "vpackd (store) never wrote its address" >&2; exit 1; }
+daemon_addr="$(cat "$daemon_dir/addr2")"
+bin/vpbench -daemon "http://$daemon_addr" -streams 4 -records 50 -log off
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "vpackd (store) did not exit cleanly" >&2; exit 1; }
+daemon_pid=""
+bin/vpackd -addr 127.0.0.1:0 -addrfile "$daemon_dir/addr3" -bench m88ksim -scale 1 -batch 10 \
+    -store "$daemon_dir/store" -log off &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$daemon_dir/addr3" ] && break
+    sleep 0.1
+done
+[ -s "$daemon_dir/addr3" ] || { echo "vpackd (restart) never wrote its address" >&2; exit 1; }
+daemon_addr="$(cat "$daemon_dir/addr3")"
+curl -sf "http://$daemon_addr/v1/packages/m88ksim/latest" >/dev/null \
+    || { echo "restarted vpackd lost the published package" >&2; exit 1; }
+curl -sf "http://$daemon_addr/v1/provenance/m88ksim/latest" | grep -q '"trace"' \
+    || { echo "restarted vpackd lost the provenance record" >&2; exit 1; }
+curl -sf "http://$daemon_addr/metrics" | grep -q '^vp_vpackd_versions_recovered [1-9]' \
+    || { echo "restarted vpackd recovered no versions" >&2; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "vpackd (restart) did not exit cleanly" >&2; exit 1; }
+daemon_pid=""
 
 echo "tier-1 verify: OK"

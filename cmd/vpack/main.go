@@ -25,6 +25,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/equiv"
 	"repro/internal/obs"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
@@ -70,6 +71,7 @@ func main() {
 		dynL      = flag.Bool("dynlaunch", false, "use dynamic launch-point selection instead of static links")
 		noOpt     = flag.Bool("noopt", false, "disable layout and rescheduling")
 		verifyOn  = cliflags.VerifyFlag(flag.CommandLine)
+		equivOn   = cliflags.EquivFlag(flag.CommandLine)
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		verbose   = flag.Bool("v", false, "per-phase and per-package detail")
 		logf      = cliflags.LogFlags(flag.CommandLine, "print only the final coverage/speedup line (same as -log off for diagnostics)")
@@ -149,6 +151,7 @@ func main() {
 	cfg.EnableLayout = !*noOpt
 	cfg.EnableSchedule = !*noOpt
 	cfg.Verify = *verifyOn
+	cfg.Equiv = *equivOn
 
 	if !quiet {
 		fmt.Printf("%s: %d funcs, %d blocks, %d static insts\n",
@@ -202,6 +205,18 @@ func main() {
 		}
 	}
 
+	if *equivOn && !quiet {
+		proved, fuzzed := 0, 0
+		for _, c := range out.Equiv {
+			proved += c.PathsProved
+			if c.BudgetExceeded {
+				fuzzed++
+			}
+		}
+		fmt.Printf("equiv: %d packages proved equivalent (%d paths, %d budget-capped to differential fuzzing)\n",
+			len(out.Equiv), proved, fuzzed)
+	}
+
 	if !quiet {
 		fmt.Printf("packages: %d in %d groups, %d links, %d monitors, %d launch points\n",
 			len(out.Pack.Packages), len(out.Pack.Groups), out.Pack.Links, out.Pack.Monitors, out.Pack.LaunchPoints)
@@ -240,6 +255,12 @@ func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vpack:", err)
 	if errors.Is(err, core.ErrVerifyFailed) {
 		os.Exit(3)
+	}
+	if errors.Is(err, core.ErrNotEquivalent) {
+		for _, ce := range equiv.Counterexamples(err) {
+			fmt.Fprintln(os.Stderr, "vpack: counterexample:", ce.String())
+		}
+		os.Exit(4)
 	}
 	os.Exit(1)
 }

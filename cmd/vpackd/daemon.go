@@ -17,6 +17,7 @@ import (
 	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/drift"
+	"repro/internal/equiv"
 	"repro/internal/hsd"
 	"repro/internal/obs"
 	"repro/internal/phasedb"
@@ -449,6 +450,17 @@ func (d *Daemon) repack(st *programState) {
 			UnixUS: time.Now().UnixMicro(), Kind: drift.EventRepackDone,
 			Program: st.name, Trace: trace, Detail: err.Error(),
 		})
+		// A refuted equivalence proof is a miscompile caught before
+		// publication: the version is never appended, so clients keep
+		// being served the last good one.
+		if errors.Is(err, core.ErrNotEquivalent) {
+			n := len(equiv.Counterexamples(err))
+			if n == 0 {
+				n = 1
+			}
+			d.rec.Count(obs.DaemonEquivRejectedCounter, 1)
+			d.rec.Count(obs.EquivViolationsCounter, int64(n))
+		}
 		// ErrNoPhases just means the stream is still too thin to package.
 		if !errors.Is(err, core.ErrNoPhases) {
 			d.logger.Warn("repack failed", "program", st.name, "err", err)
@@ -541,6 +553,11 @@ func (d *Daemon) buildVersion(st *programState, pa *core.ProfileArtifact, prov *
 		return nil, err
 	}
 	set.Program = st.name
+	for _, c := range set.Equiv {
+		d.rec.Count(obs.EquivPackagesCounter, 1)
+		d.rec.Count(obs.EquivPathsProvedCounter, int64(c.PathsProved))
+		d.rec.Count(obs.EquivPathsFuzzedCounter, int64(c.PathsFuzzed))
+	}
 
 	stage = time.Now()
 	var buf bytes.Buffer

@@ -652,3 +652,67 @@ func TestSplitList(t *testing.T) {
 		t.Errorf("splitList = %v, want %v", got, want)
 	}
 }
+
+// TestDaemonEquivGate runs the daemon with translation validation gating
+// every repack: the published version must carry per-package certificates
+// proving the build, the vp_equiv_* series must be live on /metrics, and
+// no rejection may fire on a clean build. (The blocking path itself —
+// a refuted proof leaves st.lastErr set and never appends the version —
+// shares the repack error machinery exercised by TestDaemonStaleProfile;
+// the refutation corpus lives in internal/equiv.)
+func TestDaemonEquivGate(t *testing.T) {
+	rec := obs.NewRecorder()
+	cfg := core.ScaledConfig()
+	cfg.Equiv = true
+	d, err := NewDaemon(cfg, []string{"m88ksim"}, 1, 2, 4, 3,
+		testDriftCfg, nil, rec, slog.New(slog.DiscardHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	h := d.Handler()
+	spots := captureSpots(t, d, "m88ksim")
+	hash := d.programs["m88ksim"].hash
+	for i := 0; i < 3; i++ {
+		if w := postSpots(t, h, "m88ksim", hash, spots); w.Code != http.StatusOK {
+			t.Fatalf("POST profile: %d: %s", w.Code, w.Body.String())
+		}
+	}
+	w := awaitVersion(t, h, "m88ksim")
+	set, err := core.DecodePackageSet(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Equiv) != len(set.Packages) {
+		t.Fatalf("published version has %d certificates for %d packages", len(set.Equiv), len(set.Packages))
+	}
+	for _, c := range set.Equiv {
+		if !c.Equivalent {
+			t.Fatalf("published version carries a non-equivalent certificate: %s", c.Verdict())
+		}
+	}
+
+	counters := rec.Export().Metrics.Counters
+	if counters[obs.EquivPackagesCounter] == 0 {
+		t.Fatal("equiv-gated repack recorded no proved packages")
+	}
+	if counters[obs.EquivViolationsCounter] != 0 {
+		t.Fatalf("clean repack recorded %d equiv violations", counters[obs.EquivViolationsCounter])
+	}
+	if counters[obs.DaemonEquivRejectedCounter] != 0 {
+		t.Fatalf("clean repack recorded %d equiv rejections", counters[obs.DaemonEquivRejectedCounter])
+	}
+
+	// The equiv series are always-on for the serving tier: present on
+	// /metrics even before any violation.
+	body := get(h, "/metrics").Body.String()
+	for _, series := range []string{
+		telemetry.MetricName(obs.EquivPackagesCounter),
+		telemetry.MetricName(obs.EquivViolationsCounter),
+		telemetry.MetricName(obs.DaemonEquivRejectedCounter),
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics is missing %s", series)
+		}
+	}
+}

@@ -100,8 +100,8 @@ type programInfo struct {
 
 // timelineReply is GET /v1/timeline/{program}'s body.
 type timelineReply struct {
-	Program string                 `json:"program"`
-	Windows []drift.WindowSummary  `json:"windows"`
+	Program string                `json:"program"`
+	Windows []drift.WindowSummary `json:"windows"`
 }
 
 // eventsReply is GET /v1/events' body: the retained events after the
@@ -119,6 +119,7 @@ func (d *Daemon) Handler() http.Handler {
 	tsrv.AlwaysCounters(obs.DaemonCounters()...)
 	tsrv.AlwaysCounters(obs.DriftCounters()...)
 	tsrv.AlwaysCounters(obs.StoreCounters()...)
+	tsrv.AlwaysCounters(obs.EquivCounters()...)
 	tsrv.AlwaysGauges(obs.DriftGauges()...)
 	tsrv.AlwaysGauges(obs.StoreGauges()...)
 	tsrv.AlwaysHistograms(obs.DaemonHistograms()...)

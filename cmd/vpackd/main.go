@@ -66,13 +66,14 @@ func main() {
 		driftf   = cliflags.DriftFlags(flag.CommandLine)
 		storeDir = cliflags.StoreFlag(flag.CommandLine)
 		verifyOn = cliflags.VerifyFlag(flag.CommandLine)
+		equivOn  = cliflags.EquivFlag(flag.CommandLine)
 		logf     = cliflags.LogFlags(flag.CommandLine, "no daemon logs (same as -log off)")
 	)
 	flag.Parse()
-	os.Exit(run(*addr, *addrFile, *benches, *scale, *workers, *queueCap, *batch, driftf.Config(), *storeDir, *verifyOn, logf.Mode()))
+	os.Exit(run(*addr, *addrFile, *benches, *scale, *workers, *queueCap, *batch, driftf.Config(), *storeDir, *verifyOn, *equivOn, logf.Mode()))
 }
 
-func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, storeDir string, verify bool, logMode string) int {
+func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch int, driftCfg drift.Config, storeDir string, verify, equiv bool, logMode string) int {
 	rec := obs.NewRecorder()
 	logger, err := telemetry.NewLogger(logMode, os.Stderr, rec)
 	if err != nil {
@@ -82,6 +83,7 @@ func run(addr, addrFile, benches string, scale int64, workers, queueCap, batch i
 
 	cfg := core.ScaledConfig()
 	cfg.Verify = verify
+	cfg.Equiv = equiv
 
 	// The daemon owns the store for its whole lifetime: versions recover
 	// from it at boot and Close flushes it on the signal path below.

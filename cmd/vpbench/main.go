@@ -22,6 +22,10 @@
 //	vpbench -log json       # structured progress records (text|json|off)
 //	vpbench -verify         # static verifier gates every stage (exit 3 on violation)
 //	vpbench -verifyoverhead # extra verify-on run, overhead recorded in -benchjson
+//	vpbench -equiv          # prove every optimized package equivalent (exit 4 on refutation)
+//	vpbench -equivoverhead  # extra equiv-on run, overhead recorded in -benchjson;
+//	                        # with -store -storecompare also measures the warm
+//	                        # (store-served proofs) steady-state overhead
 //	vpbench -store DIR      # suite profiles/packages served from + written to DIR
 //	vpbench -store DIR -storecompare  # storeless main suite, then cold+warm
 //	                        # store-backed runs recorded in -benchjson
@@ -78,6 +82,22 @@ type benchJSON struct {
 	// pointer so a measured zero still appears in the JSON.
 	VerifyWallSeconds      float64  `json:"verify_wall_seconds,omitempty"`
 	VerifyOverheadFraction *float64 `json:"verify_overhead_fraction,omitempty"`
+	// EquivWallSeconds/EquivOverheadFraction mirror the verify pair for
+	// -equivoverhead: an extra suite run with translation validation
+	// proving every optimized package from scratch, timed against the
+	// main run. This is the cold cost of full symbolic proving.
+	EquivWallSeconds      float64  `json:"equiv_wall_seconds,omitempty"`
+	EquivOverheadFraction *float64 `json:"equiv_overhead_fraction,omitempty"`
+	// EquivWarmWallSeconds/EquivWarmOverheadFraction record the
+	// steady-state cost (with -equivoverhead -store -storecompare):
+	// certificates are part of the package-set artifact and keyed by the
+	// config hash, so a warm store-backed run serves every proved package
+	// from disk and re-proves nothing. The fraction compares the warm
+	// equiv-on run against the warm equiv-off run — the regime a
+	// continuously-operating pipeline (vpackd) actually pays for, and the
+	// number the <5% budget in scripts/bench.sh gates on.
+	EquivWarmWallSeconds      float64  `json:"equiv_warm_wall_seconds,omitempty"`
+	EquivWarmOverheadFraction *float64 `json:"equiv_warm_overhead_fraction,omitempty"`
 	// StoreColdWallSeconds/StoreWarmWallSeconds are -storecompare's
 	// measurement: one suite run against a fresh artifact store (cold,
 	// every profile and package computed and written through) and one
@@ -153,6 +173,8 @@ func main() {
 		tracePath  = flag.String("trace", "", "write the suite's JSON span/event/metric trace to `file`")
 		verifyOn   = cliflags.VerifyFlag(flag.CommandLine)
 		verifyOH   = flag.Bool("verifyoverhead", false, "additionally run the suite once with -verify on and record the overhead in -benchjson")
+		equivOn    = cliflags.EquivFlag(flag.CommandLine)
+		equivOH    = flag.Bool("equivoverhead", false, "additionally run the suite once with -equiv on and record the overhead in -benchjson")
 		daemonURL  = flag.String("daemon", "", "load-generator mode: stream hot-spot profiles to a running vpackd at `url` instead of running the suite")
 		streams    = flag.Int("streams", 8, "concurrent profile streams in -daemon mode")
 		records    = flag.Int("records", 100, "total hot-spot records to stream in -daemon mode")
@@ -198,6 +220,7 @@ func main() {
 		Jobs:          *jobs,
 	}
 	opts.Core.Verify = *verifyOn
+	opts.Core.Equiv = *equivOn
 	if err := machine.Apply(&opts.Machine); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(2)
@@ -236,6 +259,7 @@ func main() {
 		// Store series are always present (zero without a -store), so
 		// dashboards never see gaps.
 		srv.AlwaysCounters(obs.StoreCounters()...)
+		srv.AlwaysCounters(obs.EquivCounters()...)
 		srv.AlwaysGauges(obs.StoreGauges()...)
 		addr, err := srv.Listen(*serve)
 		if err != nil {
@@ -282,6 +306,9 @@ func main() {
 			if errors.Is(err, core.ErrVerifyFailed) {
 				os.Exit(3)
 			}
+			if errors.Is(err, core.ErrNotEquivalent) {
+				os.Exit(4)
+			}
 			os.Exit(1)
 		}
 		if nreps > 1 {
@@ -325,6 +352,31 @@ func main() {
 			"overhead", fmt.Sprintf("%+.2f%%", 100*(verifyWall/suite.Elapsed.Seconds()-1)))
 	}
 
+	// Translation-validation overhead: same protocol as -verifyoverhead —
+	// extra suite runs with every package proved, best-of-nreps on both
+	// sides. A refutation here is a miscompile and fails the measurement.
+	equivWall := 0.0
+	if *equivOH {
+		eOpts := opts
+		eOpts.Core.Equiv = true
+		eOpts.Observer = nil
+		for r := 1; r <= nreps; r++ {
+			eSuite, err := report.RunSuite(eOpts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vpbench: equiv-on run:", err)
+				if errors.Is(err, core.ErrNotEquivalent) {
+					os.Exit(4)
+				}
+				os.Exit(1)
+			}
+			if equivWall == 0 || eSuite.Elapsed.Seconds() < equivWall {
+				equivWall = eSuite.Elapsed.Seconds()
+			}
+		}
+		logger.Info("equiv-on suite complete", "wall", equivWall,
+			"overhead", fmt.Sprintf("%+.2f%%", 100*(equivWall/suite.Elapsed.Seconds()-1)))
+	}
+
 	// Cold/warm store measurement: one suite run populating the store
 	// from scratch, then one rerun against it. The warm run must serve
 	// every profile and package from disk — a nonzero miss count means
@@ -355,8 +407,49 @@ func main() {
 			"profile_hits", warm.StoreProfileHits, "package_hits", warm.StorePackageHits)
 	}
 
+	// Steady-state translation-validation overhead: the certificates ride
+	// the package-set artifact, keyed by the config hash, so once a store
+	// holds the proved packages a rerun serves them from disk without
+	// re-proving. The warm equiv-on run is compared against the warm
+	// equiv-off run from -storecompare above; a package miss here means
+	// the key scheme broke and the "warm" number would be meaningless.
+	equivWarmWall := 0.0
+	if *equivOH && *storeComp {
+		eOpts := opts
+		eOpts.Core.Equiv = true
+		if _, err := storeSuiteRun(eOpts, *storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "vpbench: equiv store cold run:", err)
+			if errors.Is(err, core.ErrNotEquivalent) {
+				os.Exit(4)
+			}
+			os.Exit(1)
+		}
+		for r := 1; r <= nreps; r++ {
+			wSuite, err := storeSuiteRun(eOpts, *storeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vpbench: equiv store warm run:", err)
+				if errors.Is(err, core.ErrNotEquivalent) {
+					os.Exit(4)
+				}
+				os.Exit(1)
+			}
+			if wSuite.StoreProfileMisses+wSuite.StorePackageMisses > 0 {
+				fmt.Fprintf(os.Stderr, "vpbench: warm equiv run missed (%d profile, %d package) — store keys are broken\n",
+					wSuite.StoreProfileMisses, wSuite.StorePackageMisses)
+				os.Exit(1)
+			}
+			if equivWarmWall == 0 || wSuite.Elapsed.Seconds() < equivWarmWall {
+				equivWarmWall = wSuite.Elapsed.Seconds()
+			}
+		}
+		if storeWarm > 0 {
+			logger.Info("equiv warm suite complete", "wall", equivWarmWall,
+				"overhead", fmt.Sprintf("%+.2f%%", 100*(equivWarmWall/storeWarm-1)))
+		}
+	}
+
 	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, suite, *scale, nreps, verifyWall, storeCold, storeWarm, storeStats); err != nil {
+		if err := writeBenchJSON(*benchjson, suite, *scale, nreps, verifyWall, equivWall, equivWarmWall, storeCold, storeWarm, storeStats); err != nil {
 			fmt.Fprintln(os.Stderr, "vpbench:", err)
 			os.Exit(1)
 		}
@@ -531,7 +624,7 @@ type trajectory struct {
 	Latest  benchJSON         `json:"latest"`
 }
 
-func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, verifyWall, storeCold, storeWarm float64, storeStats *benchStore) error {
+func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, verifyWall, equivWall, equivWarmWall, storeCold, storeWarm float64, storeStats *benchStore) error {
 	wall := suite.Elapsed.Seconds()
 	rec := benchJSON{
 		Schema:      "vpbench-suite/v1",
@@ -551,6 +644,20 @@ func writeBenchJSON(path string, suite *report.Suite, scale int64, reps int, ver
 		if wall > 0 {
 			f := max(verifyWall/wall-1, 0)
 			rec.VerifyOverheadFraction = &f
+		}
+	}
+	if equivWall > 0 {
+		rec.EquivWallSeconds = equivWall
+		if wall > 0 {
+			f := max(equivWall/wall-1, 0)
+			rec.EquivOverheadFraction = &f
+		}
+	}
+	if equivWarmWall > 0 {
+		rec.EquivWarmWallSeconds = equivWarmWall
+		if storeWarm > 0 {
+			f := max(equivWarmWall/storeWarm-1, 0)
+			rec.EquivWarmOverheadFraction = &f
 		}
 	}
 	rec.StoreColdWallSeconds = storeCold

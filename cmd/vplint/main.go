@@ -1,6 +1,6 @@
 // Command vplint adapts internal/lint to the `go vet -vettool` protocol,
-// so the repository's custom checks (insts-mutation, dropped-observer)
-// run over every package with ordinary build caching:
+// so the repository's custom checks (insts-mutation, dropped-observer,
+// mutate-after-hash) run over every package with ordinary build caching:
 //
 //	go build -o bin/vplint ./cmd/vplint
 //	go vet -vettool=$PWD/bin/vplint ./...

@@ -11,9 +11,15 @@
 //	vpverify -bench gzip -variant 3        # one variant (0-3, paper order)
 //	vpverify -asm program.vpasm            # hand-written VPIR assembly
 //	vpverify -all                          # every benchmark input
+//	vpverify -all -equiv                   # + symbolic equivalence proofs
 //
-// Exit status: 0 all checks passed, 3 at least one rule fired, 1 the
-// pipeline failed before verification could complete.
+// With -equiv, translation validation proves every optimized package
+// observationally equivalent to its region code and prints one verdict
+// line per package; a refutation counts as a violation and its
+// structured counterexample is printed.
+//
+// Exit status: 0 all checks passed, 3 at least one rule fired or proof
+// was refuted, 1 the pipeline failed before verification could complete.
 package main
 
 import (
@@ -23,7 +29,9 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/equiv"
 	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/verify"
@@ -40,6 +48,7 @@ func main() {
 		all     = flag.Bool("all", false, "verify every benchmark input (ignores -bench/-input)")
 		sink    = flag.Bool("sink", false, "also enable the cold-code sinking pass")
 		dynL    = flag.Bool("dynlaunch", false, "use dynamic launch-point selection instead of static links")
+		equivOn = cliflags.EquivFlag(flag.CommandLine)
 		quiet   = flag.Bool("q", false, "print only failures and the final verdict")
 	)
 	flag.Parse()
@@ -107,19 +116,25 @@ func main() {
 			}
 			cfg := v.Apply(core.ScaledConfig())
 			cfg.Verify = true
+			cfg.Equiv = *equivOn
 			cfg.EnableSink = *sink
 			if *dynL {
 				cfg.Pack.DynamicLaunch = true
 				cfg.Pack.EnableLinking = false
 			}
 			rec := obs.NewRecorder()
-			_, err = core.RunObserved(cfg, p, rec)
+			out, err := core.RunObserved(cfg, p, rec)
 			checked := rec.Export().Metrics.Counters["verify.checked"]
 			label := fmt.Sprintf("%s [%s]", tgt.name, v.Name())
 			switch {
 			case err == nil:
 				if !*quiet {
 					fmt.Printf("ok    %-44s %3d checks\n", label, checked)
+					if *equivOn {
+						for _, c := range out.Equiv {
+							fmt.Printf("      %s\n", c.Verdict())
+						}
+					}
 				}
 			case errors.Is(err, core.ErrNoPhases) || errors.Is(err, core.ErrNoPackages):
 				// Nothing extracted means nothing to verify; not a failure.
@@ -132,6 +147,13 @@ func main() {
 				fmt.Printf("FAIL  %-44s %d violation(s) after %d checks\n", label, len(diags), checked)
 				for _, d := range diags {
 					fmt.Printf("      %s\n", d)
+				}
+			case errors.Is(err, core.ErrNotEquivalent):
+				ces := equiv.Counterexamples(err)
+				violations += len(ces)
+				fmt.Printf("FAIL  %-44s translation validation refuted (%d counterexample(s))\n", label, len(ces))
+				for _, ce := range ces {
+					fmt.Printf("      %s\n", ce.String())
 				}
 			default:
 				failures++

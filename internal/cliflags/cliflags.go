@@ -89,6 +89,14 @@ func VerifyFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("verify", false, "run the static verifier after every pipeline stage (exit 3 on violation)")
 }
 
+// EquivFlag registers -equiv on fs: the translation-validation gate.
+// Tools that accept it prove every optimized package observationally
+// equivalent to its region code and refuse to proceed on refutation
+// (exit 4, with a structured counterexample on stderr).
+func EquivFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("equiv", false, "prove every optimized package equivalent to its region code (exit 4 on refutation)")
+}
+
 // StoreFlag registers -store on fs. Every tool parses it identically:
 // an empty value (the default) keeps today's in-memory-only behavior;
 // a directory enables the persistent artifact store there. Open the

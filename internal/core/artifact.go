@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/asm"
+	"repro/internal/equiv"
 	"repro/internal/pack"
 	"repro/internal/phasedb"
 	"repro/internal/prog"
@@ -441,6 +442,11 @@ type PackageSet struct {
 	Stats         PackStats     `json:"stats"`
 	Packages      []PackageInfo `json:"packages"`
 	PackedAsm     string        `json:"packed_asm"`
+
+	// Equiv holds the per-package translation-validation certificates
+	// when the producing run had the -equiv gate on: the served set
+	// carries its own proof metadata.
+	Equiv []*equiv.Certificate `json:"equiv,omitempty"`
 
 	// live results, set when the stage ran in-process.
 	res    *pack.Result

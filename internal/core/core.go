@@ -11,6 +11,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/cpu"
+	"repro/internal/equiv"
 	"repro/internal/hsd"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -35,6 +36,11 @@ var (
 	// rejected a pipeline stage's output. The wrapped chain contains a
 	// *verify.Error with the structured diagnostics.
 	ErrVerifyFailed = verify.ErrFailed
+	// ErrNotEquivalent reports that translation validation (Config.Equiv)
+	// refuted a package: the optimized code is not observationally
+	// equivalent to the region code it replaced. The wrapped chain
+	// contains an *equiv.Error with the structured counterexample.
+	ErrNotEquivalent = equiv.ErrNotEquivalent
 )
 
 // Config gathers every pipeline knob. The zero value is not useful; start
@@ -86,6 +92,19 @@ type Config struct {
 	// the pipeline with an ErrVerifyFailed-matchable error. Enabled runs
 	// bump the verify.checked / verify.violations counters.
 	Verify bool
+
+	// Equiv gates every optimized package on translation validation
+	// (internal/equiv): the package function is snapshotted after
+	// installation and linking, and after the optimization passes each
+	// acyclic path must produce identical observable effects — live-out
+	// register terms, memory write chains, side-exit targets — or the
+	// pipeline fails with an ErrNotEquivalent-matchable error carrying a
+	// structured counterexample. Certificates land on the Outcome and the
+	// PackageSet artifact. Off by default. EquivMaxPaths bounds symbolic
+	// path enumeration per package (0 = the equiv package default); past
+	// it the proof degrades to bounded differential execution.
+	Equiv         bool
+	EquivMaxPaths int
 }
 
 // DefaultConfig returns the paper's configuration: Table 2 detector,
@@ -133,7 +152,9 @@ func (cfg Config) ProfileKey() uint64 {
 // Hash produce byte-identical RegionArtifacts and PackageSets on the
 // same image. The Verify gate and the Pack.Verify hook deliberately do
 // not participate: verification rejects bad outputs but never changes
-// good ones, and func identities are not configuration.
+// good ones, and func identities are not configuration. The Equiv knobs
+// DO participate — equiv runs embed certificates in the PackageSet, so a
+// warm store hit from a non-equiv run must miss when -equiv turns on.
 func (cfg Config) Hash() uint64 {
 	h := fnv.New64a()
 	pk := cfg.Pack
@@ -154,12 +175,15 @@ func (cfg Config) Hash() uint64 {
 		MaxPhases         int
 		ProfileLimit      uint64
 		EntrySeedWeight   float64
+		Equiv             bool
+		EquivMaxPaths     int
 	}{
 		cfg.Detector, cfg.Filter, cfg.Region, pk, cfg.Sched,
 		cfg.EnableLayout, cfg.EnableSchedule, cfg.EnableMerge,
 		cfg.EnableSink, cfg.ApproxWeights,
 		cfg.HistoryDepth, cfg.HistorySimilarity,
 		cfg.MaxPhases, cfg.ProfileLimit, cfg.EntrySeedWeight,
+		cfg.Equiv, cfg.EquivMaxPaths,
 	})
 	return h.Sum64()
 }
@@ -227,6 +251,10 @@ type Outcome struct {
 	// SkippedPhases counts phases whose region identification failed
 	// (e.g. all hot-spot PCs were unmappable).
 	SkippedPhases int
+
+	// Equiv holds the per-package translation-validation certificates when
+	// Config.Equiv is on, in package order.
+	Equiv []*equiv.Certificate
 }
 
 // ProfileStats summarizes one profiling run. The JSON tags are the

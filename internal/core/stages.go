@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/cpu"
+	"repro/internal/equiv"
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/pack"
@@ -178,10 +179,28 @@ func PackageStageObserved(cfg Config, p *prog.Program, img *prog.Image, ra *Regi
 	// Past installation the program carries the packages, so failures
 	// below still surface the live result: the partial set mirrors the
 	// monolith's Outcome.Pack being set before optimization could fail.
+	var certs []*equiv.Certificate
 	partial := func(err error) (*PackageSet, error) {
 		set := &PackageSet{Schema: PackageSetSchema, ProgramHash: ra.ProgramHash, res: res, packed: p}
 		set.SkippedPhases = skipped
+		set.Equiv = certs
 		return set, err
+	}
+
+	// Translation validation (Config.Equiv) snapshots every package
+	// function now — after installation and linking, before the passes
+	// mutate them — so each optimized package can be proved against the
+	// region code it replaced.
+	var snaps map[*pack.Package]*equiv.Snapshot
+	if cfg.Equiv {
+		snaps = make(map[*pack.Package]*equiv.Snapshot, len(res.Packages))
+		for _, pk := range res.Packages {
+			entries := make([]*prog.Block, 0, len(pk.Entries))
+			for _, c := range pk.Entries {
+				entries = append(entries, c)
+			}
+			snaps[pk] = equiv.Capture(p, pk.Fn, entries)
+		}
 	}
 
 	// Optimization (§5.4): weight calculation, relayout, rescheduling.
@@ -192,7 +211,7 @@ func PackageStageObserved(cfg Config, p *prog.Program, img *prog.Image, ra *Regi
 	osp := o.StartSpan(obs.StageOptimize)
 	ps := cfg.passes()
 	var rec *opt.PassRecord
-	if cfg.Verify {
+	if cfg.Verify || cfg.Equiv {
 		rec = &opt.PassRecord{}
 		ps.Record = rec
 	}
@@ -218,6 +237,25 @@ func PackageStageObserved(cfg Config, p *prog.Program, img *prog.Image, ra *Regi
 			osp.End()
 			return partial(fmt.Errorf("core: pass verification (%s): %w", pk.Fn.Name, err))
 		}
+		if cfg.Equiv {
+			cert, eerr := equiv.Prove(snaps[pk], equiv.Config{MaxPaths: cfg.EquivMaxPaths})
+			if cert != nil {
+				certs = append(certs, cert)
+				rec.Equiv = certs
+				o.Count(obs.EquivPackagesCounter, 1)
+				o.Count(obs.EquivPathsProvedCounter, int64(cert.PathsProved))
+				o.Count(obs.EquivPathsFuzzedCounter, int64(cert.PathsFuzzed))
+			}
+			if eerr != nil {
+				n := len(equiv.Counterexamples(eerr))
+				if n == 0 {
+					n = 1
+				}
+				o.Count(obs.EquivViolationsCounter, int64(n))
+				osp.End()
+				return partial(fmt.Errorf("core: translation validation (%s): %w", pk.Fn.Name, eerr))
+			}
+		}
 	}
 	osp.End()
 
@@ -239,6 +277,7 @@ func PackageStageObserved(cfg Config, p *prog.Program, img *prog.Image, ra *Regi
 	}
 	set := newPackageSet(p, res, ra.hash(), ra.ProgramHash)
 	set.SkippedPhases = skipped
+	set.Equiv = certs
 	return set, nil
 }
 
@@ -262,6 +301,7 @@ func packageStaged(cfg Config, out *Outcome, p *prog.Program, img *prog.Image, p
 	if set != nil {
 		out.SkippedPhases += set.SkippedPhases
 		out.Pack = set.Result()
+		out.Equiv = set.Equiv
 	}
 	return err
 }

@@ -1,0 +1,201 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Term canonicalization tests: the prover's soundness rests on interned
+// terms being pointer-equal iff semantically identified by the
+// normalization rules, and on foldInt matching machine semantics exactly.
+
+func TestTermInterning(t *testing.T) {
+	it := newInterner()
+	a, b := it.Init(4), it.Init(5)
+	if it.Op2(isa.ADD, a, b) != it.Op2(isa.ADD, a, b) {
+		t.Error("identical ops not interned to one term")
+	}
+	if it.Const(7) != it.Const(7) {
+		t.Error("identical consts not interned")
+	}
+	if it.Const(7) == it.Const(8) {
+		t.Error("distinct consts interned together")
+	}
+}
+
+func TestTermCommutativeCanon(t *testing.T) {
+	it := newInterner()
+	a, b := it.Init(4), it.Init(5)
+	for _, op := range []isa.Opcode{isa.ADD, isa.MUL, isa.AND, isa.OR, isa.XOR, isa.SEQ} {
+		if it.Op2(op, a, b) != it.Op2(op, b, a) {
+			t.Errorf("%v not canonicalized commutatively", op)
+		}
+	}
+	// SUB is not commutative; the orders must stay distinct.
+	if it.Op2(isa.SUB, a, b) == it.Op2(isa.SUB, b, a) {
+		t.Error("SUB wrongly treated as commutative")
+	}
+}
+
+func TestTermIdentities(t *testing.T) {
+	it := newInterner()
+	a := it.Init(4)
+	zero, one := it.Const(0), it.Const(1)
+	cases := []struct {
+		name string
+		got  *Term
+		want *Term
+	}{
+		{"x+0", it.Op2(isa.ADD, a, zero), a},
+		{"x-0", it.Op2(isa.SUB, a, zero), a},
+		{"x-x", it.Op2(isa.SUB, a, a), zero},
+		{"x|0", it.Op2(isa.OR, a, zero), a},
+		{"x^0", it.Op2(isa.XOR, a, zero), a},
+		{"x^x", it.Op2(isa.XOR, a, a), zero},
+		{"x*1", it.Op2(isa.MUL, a, one), a},
+		{"x*0", it.Op2(isa.MUL, a, zero), zero},
+		{"x&0", it.Op2(isa.AND, a, zero), zero},
+		{"x&x", it.Op2(isa.AND, a, a), a},
+		{"x|x", it.Op2(isa.OR, a, a), a},
+		{"x/1", it.Op2(isa.DIV, a, one), a},
+		{"x%1", it.Op2(isa.REM, a, one), zero},
+		{"x<<0", it.Op2(isa.SHL, a, zero), a},
+		{"x>>0", it.Op2(isa.SHR, a, zero), a},
+		{"x<x", it.Op2(isa.SLT, a, a), zero},
+		{"x==x", it.Op2(isa.SEQ, a, a), one},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestFoldIntMachineSemantics(t *testing.T) {
+	it := newInterner()
+	c := func(v int64) *Term { return it.Const(v) }
+	cases := []struct {
+		name string
+		got  *Term
+		want int64
+	}{
+		{"add", it.Op2(isa.ADD, c(3), c(4)), 7},
+		{"div0", it.Op2(isa.DIV, c(9), c(0)), 0},
+		{"rem0", it.Op2(isa.REM, c(9), c(0)), 0},
+		{"divneg", it.Op2(isa.DIV, c(-7), c(2)), -3},
+		{"shl-mask", it.Op2(isa.SHL, c(1), c(65)), 2},
+		{"shr-logical", it.Op2(isa.SHR, c(-1), c(60)), 15},
+		{"slt-true", it.Op2(isa.SLT, c(-1), c(0)), 1},
+		{"slt-false", it.Op2(isa.SLT, c(0), c(-1)), 0},
+		{"seq", it.Op2(isa.SEQ, c(5), c(5)), 1},
+	}
+	for _, cse := range cases {
+		if cse.got.kind != kConst || cse.got.k != cse.want {
+			t.Errorf("%s: got %s, want const %d", cse.name, cse.got, cse.want)
+		}
+	}
+}
+
+func TestPredFolding(t *testing.T) {
+	it := newInterner()
+	a, b := it.Init(4), it.Init(5)
+	if p := it.Pred(isa.BEQ, a, a); p != it.one {
+		t.Errorf("x==x pred should fold true, got %s", p)
+	}
+	if p := it.Pred(isa.BEQ, it.Const(1), it.Const(2)); p != it.zero {
+		t.Errorf("1==2 pred should fold false, got %s", p)
+	}
+	if p := it.Pred(isa.BLT, it.Const(1), it.Const(2)); p != it.one {
+		t.Errorf("1<2 pred should fold true, got %s", p)
+	}
+	// BEQ operands are order-canonicalized so both orientations share a
+	// constraint slot.
+	if it.Pred(isa.BEQ, a, b) != it.Pred(isa.BEQ, b, a) {
+		t.Error("BEQ pred not canonicalized over operand order")
+	}
+}
+
+func TestStoreChainCanonicalization(t *testing.T) {
+	it := newInterner()
+	base := it.Init(10)
+	a0 := it.Op2(isa.ADD, base, it.Const(0))
+	a8 := it.Op2(isa.ADD, base, it.Const(8))
+	v1, v2 := it.Init(4), it.Init(5)
+	mem := it.MemInit()
+
+	// Same-address overwrite collapses to the latest store.
+	m1 := it.Store(mem, a0, v1)
+	m2 := it.Store(m1, a0, v2)
+	if m2 != it.Store(mem, a0, v2) {
+		t.Error("same-address overwrite not collapsed")
+	}
+
+	// Provably-disjoint stores commute into one canonical order.
+	ab := it.Store(it.Store(mem, a0, v1), a8, v2)
+	ba := it.Store(it.Store(mem, a8, v2), a0, v1)
+	if ab != ba {
+		t.Error("disjoint stores not order-canonicalized")
+	}
+
+	// May-alias stores (distinct symbolic bases) must NOT commute.
+	other := it.Init(11)
+	xy := it.Store(it.Store(mem, base, v1), other, v2)
+	yx := it.Store(it.Store(mem, other, v2), base, v1)
+	if xy == yx {
+		t.Error("may-alias stores wrongly commuted")
+	}
+}
+
+func TestLoadForwarding(t *testing.T) {
+	it := newInterner()
+	base := it.Init(10)
+	a0 := it.Op2(isa.ADD, base, it.Const(0))
+	a8 := it.Op2(isa.ADD, base, it.Const(8))
+	v := it.Init(4)
+	mem := it.MemInit()
+
+	if got := it.Load(it.Store(mem, a0, v), a0); got != v {
+		t.Errorf("load of just-stored addr should forward the value, got %s", got)
+	}
+	// A provably-disjoint intervening store is skipped.
+	m := it.Store(it.Store(mem, a0, v), a8, it.Init(5))
+	if got := it.Load(m, a0); got != v {
+		t.Errorf("load should skip disjoint store, got %s", got)
+	}
+	// A may-alias intervening store blocks forwarding.
+	blocked := it.Store(it.Store(mem, a0, v), it.Init(11), it.Init(5))
+	if got := it.Load(blocked, a0); got == v {
+		t.Error("load must not forward past a may-alias store")
+	}
+}
+
+func TestTermRenderBounded(t *testing.T) {
+	it := newInterner()
+	t1 := it.Init(4)
+	for i := 0; i < 40; i++ {
+		t1 = it.Op2(isa.ADD, t1, it.Init(isa.Reg(5+i%20)))
+	}
+	s := t1.String()
+	if !strings.Contains(s, "#") {
+		t.Errorf("deep term render should truncate with #id refs: %s", s)
+	}
+	if len(s) > 4096 {
+		t.Errorf("render unbounded: %d bytes", len(s))
+	}
+}
+
+func TestRegImmLowering(t *testing.T) {
+	it := newInterner()
+	a := it.Init(4)
+	got := it.Op2(isa.ADD, a, it.Const(5))
+	// stepIns lowers ADDI r,a,5 through regImmLower to the same term.
+	op, ok := regImmLower(isa.ADDI)
+	if !ok || op != isa.ADD {
+		t.Fatalf("ADDI should lower to ADD")
+	}
+	if it.Op2(op, a, it.Const(5)) != got {
+		t.Error("reg-imm lowering not confluent with reg-reg form")
+	}
+}

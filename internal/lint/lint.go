@@ -12,6 +12,14 @@
 //	    silently truncates the trace for every caller upstream; either
 //	    forward it or make the parameter blank to document the drop.
 //
+//	lint/mutate-after-hash — a field of an artifact (internal/core) or IR
+//	    value (prog.Func, prog.Block) is assigned after the same variable's
+//	    content hash was taken with Hash() or EncodeJSON() in the same
+//	    function. The hash no longer describes the value: a store keyed by
+//	    it serves stale bytes, and an equivalence certificate attached to
+//	    it attests to code that no longer exists. Take the hash last, or
+//	    re-take it after the mutation.
+//
 // The analysis is purely syntactic + type-based over one package at a
 // time, so it slots into the vet unitchecker protocol without needing
 // facts from dependencies.
@@ -69,10 +77,141 @@ func Analyze(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath s
 				}
 			case *ast.FuncDecl:
 				diags = append(diags, droppedObservers(n, info)...)
+				diags = append(diags, mutatedAfterHash(n, info)...)
 			}
 			return true
 		})
 	}
+	return diags
+}
+
+// hashedPkgs are the package-path suffixes whose named types carry
+// content hashes: the IR (hashed into ProgramHash/ImageHash) and the
+// artifact layer (Hash()/EncodeJSON() feed the store keys and the
+// equivalence certificates).
+var hashedPkgs = []string{"internal/prog", "internal/core"}
+
+// isHashed reports whether t (or *t) is a named type from one of the
+// hash-carrying packages, matching by path suffix so tests can use stub
+// packages.
+func isHashed(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	for _, pkg := range hashedPkgs {
+		if strings.HasSuffix(obj.Pkg().Path(), pkg) {
+			return true
+		}
+	}
+	return false
+}
+
+// baseVar unwraps an expression through index, slice, paren and selector
+// steps to the variable it reads or writes through, returning nil when
+// the base is not a plain identifier. For `pa.Phases[i].X` it returns pa.
+func baseVar(e ast.Expr, info *types.Info) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// mutatedAfterHash flags field writes through a hashed-type variable at a
+// position after the same variable's Hash() or EncodeJSON() call in fn.
+// The ordering is positional — good enough for straight-line build code,
+// where this bug class lives; a loop that hashes then mutates on the next
+// iteration is equally wrong and also caught.
+func mutatedAfterHash(fn *ast.FuncDecl, info *types.Info) []Diagnostic {
+	if fn.Body == nil {
+		return nil
+	}
+	hashed := map[*types.Var]ast.Node{} // var -> earliest hash-taking call
+	mark := func(v *types.Var, call *ast.CallExpr) {
+		if v == nil || !isHashed(v.Type()) {
+			return
+		}
+		if prev, ok := hashed[v]; !ok || call.Pos() < prev.Pos() {
+			hashed[v] = call
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+			if name == "Hash" || name == "EncodeJSON" {
+				// Method form: pa.Hash(), set.EncodeJSON(w).
+				mark(baseVar(f.X, info), call)
+			}
+		case *ast.Ident:
+			name = f.Name
+		}
+		// Free-function form: ImageHash(img) and friends take the value
+		// to digest as an argument.
+		if name == "Hash" || name == "ImageHash" || name == "EncodeJSON" {
+			for _, arg := range call.Args {
+				mark(baseVar(arg, info), call)
+			}
+		}
+		return true
+	})
+	if len(hashed) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			// Rebinding the variable itself (`pa = ...`) is fine — the
+			// old hashed value is unchanged. Only writes through it count.
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				continue
+			}
+			v := baseVar(lhs, info)
+			if v == nil {
+				continue
+			}
+			if call, ok := hashed[v]; ok && lhs.Pos() > call.Pos() {
+				diags = append(diags, Diagnostic{
+					Pos:  lhs.Pos(),
+					Rule: "lint/mutate-after-hash",
+					Msg: fmt.Sprintf("%q is mutated after its content hash was taken in %s; the hash and any certificate keyed by it are now stale",
+						v.Name(), fn.Name.Name),
+				})
+			}
+		}
+		return true
+	})
 	return diags
 }
 

@@ -28,6 +28,17 @@ type Observer interface {
 }
 `
 
+const coreStub = `package core
+import "test/internal/prog"
+type ProfileArtifact struct {
+	Name   string
+	Phases []int
+}
+func (a *ProfileArtifact) Hash() (uint64, error)    { return 0, nil }
+func (a *ProfileArtifact) EncodeJSON(w int) error   { return nil }
+func ImageHash(b *prog.Block) uint64                { return 0 }
+`
+
 type mapImporter map[string]*types.Package
 
 func (m mapImporter) Import(path string) (*types.Package, error) {
@@ -58,6 +69,7 @@ func check(t *testing.T, path, src string) []lint.Diagnostic {
 	}
 	compile("test/internal/prog", progStub, nil)
 	compile("test/internal/obs", obsStub, nil)
+	compile("test/internal/core", coreStub, nil)
 
 	info := &types.Info{
 		Types: map[ast.Expr]types.TypeAndValue{},
@@ -143,5 +155,77 @@ func shadow(o obs.Observer) {                       // only a shadow is used
 		if d.Rule != "lint/dropped-observer" {
 			t.Errorf("rule = %q, want lint/dropped-observer", d.Rule)
 		}
+	}
+}
+
+func TestMutateAfterHashFlagged(t *testing.T) {
+	src := `package client
+import "test/internal/core"
+func build(a *core.ProfileArtifact) uint64 {
+	a.Phases = append(a.Phases, 1) // before the hash: fine
+	h, _ := a.Hash()
+	a.Name = "x"    // flagged: field write after Hash
+	a.Phases[0] = 2 // flagged: element write after Hash
+	return h
+}
+func encode(a *core.ProfileArtifact) {
+	_ = a.EncodeJSON(0)
+	a.Name = "y" // flagged: serialized bytes no longer match
+}
+`
+	diags := check(t, "test/internal/client", src)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics (%v), want 3", len(diags), rules(diags))
+	}
+	for _, d := range diags {
+		if d.Rule != "lint/mutate-after-hash" {
+			t.Errorf("rule = %q, want lint/mutate-after-hash", d.Rule)
+		}
+	}
+}
+
+func TestMutateAfterHashFreeFunction(t *testing.T) {
+	src := `package client
+import (
+	"test/internal/core"
+	"test/internal/prog"
+)
+func image(b *prog.Block) {
+	_ = core.ImageHash(b)
+	b.Next = nil // flagged: the image hash no longer describes b
+}
+`
+	diags := check(t, "test/internal/client", src)
+	if len(diags) != 1 || diags[0].Rule != "lint/mutate-after-hash" {
+		t.Fatalf("got %v, want one lint/mutate-after-hash", rules(diags))
+	}
+}
+
+func TestMutateAfterHashAllowed(t *testing.T) {
+	src := `package client
+import "test/internal/core"
+func rebind(a *core.ProfileArtifact) {
+	_, _ = a.Hash()
+	a = &core.ProfileArtifact{} // rebinding leaves the hashed value intact
+	_ = a
+}
+func hashLast(a *core.ProfileArtifact) uint64 {
+	a.Name = "x"
+	h, _ := a.Hash()
+	return h
+}
+func otherVar(a, b *core.ProfileArtifact) {
+	_, _ = a.Hash()
+	b.Name = "y" // a different value entirely
+}
+type plain struct{ Name string }
+func (p *plain) Hash() int { return 0 }
+func nonArtifact(p *plain) {
+	_ = p.Hash()
+	p.Name = "z" // not a hashed-package type
+}
+`
+	if diags := check(t, "test/internal/client", src); len(diags) != 0 {
+		t.Errorf("got %v, want none", rules(diags))
 	}
 }

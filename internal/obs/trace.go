@@ -196,6 +196,27 @@ func StoreGauges() []string {
 	return []string{StoreBytesGauge, StoreSegmentsGauge}
 }
 
+// Canonical metric names for the translation-validation engine
+// (internal/equiv, gated by the -equiv config knob): packages checked,
+// paths proved symbolically, differential trials run past the path
+// budget, and refutations.
+const (
+	EquivPackagesCounter    = "equiv.packages"
+	EquivPathsProvedCounter = "equiv.paths_proved"
+	EquivPathsFuzzedCounter = "equiv.paths_fuzzed"
+	EquivViolationsCounter  = "equiv.violations"
+)
+
+// EquivCounters lists the translation-validation counter names the
+// serving tier always exposes (zero without -equiv), so proof coverage
+// and refutation rates can be dashboarded without series gaps.
+func EquivCounters() []string {
+	return []string{
+		EquivPackagesCounter, EquivPathsProvedCounter,
+		EquivPathsFuzzedCounter, EquivViolationsCounter,
+	}
+}
+
 // Canonical metric names for the continuous-optimization daemon
 // (cmd/vpackd): stream and repack counters, the bounded-queue depth
 // gauge, and the repack wall-time histogram. Per-program stream counters
@@ -207,9 +228,12 @@ const (
 	DaemonVersionsCounter      = "vpackd.versions"
 	// DaemonRecoveredCounter counts versions reloaded from the artifact
 	// store at boot — served immediately without a repack.
-	DaemonRecoveredCounter  = "vpackd.versions_recovered"
-	DaemonQueueDepthGauge   = "vpackd.queue_depth"
-	DaemonRepackLatencyHist = "vpackd.repack_latency_us"
+	DaemonRecoveredCounter = "vpackd.versions_recovered"
+	// DaemonEquivRejectedCounter counts repacks whose publication the
+	// daemon refused because translation validation refuted a package.
+	DaemonEquivRejectedCounter = "vpackd.equiv_rejected"
+	DaemonQueueDepthGauge      = "vpackd.queue_depth"
+	DaemonRepackLatencyHist    = "vpackd.repack_latency_us"
 	// DaemonQueueWaitHist measures enqueue-to-worker-pickup latency: how
 	// long a shard sat in the bounded repack queue before a worker drained
 	// it. Together with DaemonRepackLatencyHist (pickup to publish) it
@@ -224,7 +248,7 @@ func DaemonCounters() []string {
 	return []string{
 		DaemonRecordsCounter, DaemonRepacksCounter,
 		DaemonQueueRejectedCounter, DaemonVersionsCounter,
-		DaemonRecoveredCounter,
+		DaemonRecoveredCounter, DaemonEquivRejectedCounter,
 	}
 }
 

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"repro/internal/equiv"
 	"repro/internal/isa"
 	"repro/internal/prog"
 )
@@ -22,6 +23,10 @@ type PassRecord struct {
 	Scheduled []*prog.Func
 	// Res is the resource model the schedules were packed for.
 	Res Resources
+	// Equiv holds the translation-validation certificates core attaches
+	// when the -equiv gate is on, one per proved package in package order.
+	// The passes themselves never write it.
+	Equiv []*equiv.Certificate
 }
 
 // MergeRecord certifies one MergeBlocks fusion: Fused was appended onto

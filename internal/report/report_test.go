@@ -379,3 +379,54 @@ func TestProfileMemoConcurrent(t *testing.T) {
 		t.Errorf("hits %d + misses %d != %d calls", hits, misses, workers)
 	}
 }
+
+// observedEquivTrace runs the small suite with -equiv on at the given
+// worker count and returns the normalized exported trace.
+func observedEquivTrace(t *testing.T, jobs int) *obs.Trace {
+	t.Helper()
+	cfg := core.ScaledConfig()
+	cfg.Equiv = true
+	rec := obs.NewRecorder()
+	_, err := RunSuite(Options{
+		Machine:       cpu.DefaultConfig(),
+		Core:          cfg,
+		Benchmarks:    []string{"m88ksim", "perl"},
+		ScaleOverride: 1,
+		Jobs:          jobs,
+		Observer:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Export().Normalize()
+}
+
+// TestRunSuiteEquivDeterministic is the equiv-on determinism gate: with
+// translation validation enabled the suite must complete with zero
+// violations, prove every package it packs, and emit byte-identical
+// golden traces at any worker count — the proof work itself must be
+// deterministic and scheduling-independent.
+func TestRunSuiteEquivDeterministic(t *testing.T) {
+	seq := observedEquivTrace(t, 1)
+	par := observedEquivTrace(t, 4)
+
+	if got := seq.Metrics.Counters[obs.EquivViolationsCounter]; got != 0 {
+		t.Fatalf("clean suite recorded %d equiv violations", got)
+	}
+	if got := seq.Metrics.Counters[obs.EquivPackagesCounter]; got <= 0 {
+		t.Fatalf("equiv-on suite proved no packages (counter %d)", got)
+	}
+	if seq.Metrics.Counters[obs.EquivPathsProvedCounter] <= 0 {
+		t.Error("equiv-on suite recorded no proved paths")
+	}
+	if !reflect.DeepEqual(seq.Events, par.Events) {
+		t.Errorf("equiv-on event streams differ between -j 1 (%d events) and -j 4 (%d events)",
+			len(seq.Events), len(par.Events))
+	}
+	if !reflect.DeepEqual(seq.Spans, par.Spans) {
+		t.Errorf("equiv-on span trees differ between -j 1 and -j 4")
+	}
+	if !reflect.DeepEqual(seq.Metrics, par.Metrics) {
+		t.Errorf("equiv-on metrics differ between -j 1 and -j 4:\n%+v\n%+v", seq.Metrics, par.Metrics)
+	}
+}

@@ -187,3 +187,65 @@ func TestRunSuiteStoreParallelDeterminism(t *testing.T) {
 		t.Fatal("warm traces differ across -j")
 	}
 }
+
+// TestRunSuiteStoreEquivKeying is the regression gate for Config.Hash
+// incorporating the equiv knobs: a store primed by a non-equiv run must
+// NOT serve its package sets to an equiv-enabled run (the cached sets
+// carry no certificates), and changing the path budget re-keys again.
+func TestRunSuiteStoreEquivKeying(t *testing.T) {
+	dir := t.TempDir()
+	seed, st := storeOpts(t, dir, nil)
+	if _, err := RunSuite(seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Equiv on: profiles may hit (ProfileKey ignores equiv knobs), but
+	// every package stage must miss and recompute with proofs.
+	opts, st2 := storeOpts(t, dir, nil)
+	opts.Core.Equiv = true
+	s, err := RunSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StorePackageHits != 0 || s.StorePackageMisses != 4 {
+		t.Fatalf("equiv-on run against non-equiv store: package hits/misses = %d/%d, want 0/4",
+			s.StorePackageHits, s.StorePackageMisses)
+	}
+	if s.StoreProfileHits != 1 {
+		t.Errorf("profile reuse should survive equiv (ProfileKey unchanged): hits = %d, want 1", s.StoreProfileHits)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same equiv config again: warm.
+	warmOpts, st3 := storeOpts(t, dir, nil)
+	warmOpts.Core.Equiv = true
+	warm, err := RunSuite(warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.StorePackageHits != 4 || warm.StorePackageMisses != 0 {
+		t.Fatalf("equiv-on warm rerun: package hits/misses = %d/%d, want 4/0",
+			warm.StorePackageHits, warm.StorePackageMisses)
+	}
+	if err := st3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different path budget is a different proof; it must re-key.
+	budgetOpts, _ := storeOpts(t, dir, nil)
+	budgetOpts.Core.Equiv = true
+	budgetOpts.Core.EquivMaxPaths = 128
+	b, err := RunSuite(budgetOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.StorePackageHits != 0 || b.StorePackageMisses != 4 {
+		t.Fatalf("EquivMaxPaths change did not re-key the store: hits/misses = %d/%d, want 0/4",
+			b.StorePackageHits, b.StorePackageMisses)
+	}
+}

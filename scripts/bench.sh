@@ -37,7 +37,7 @@ go test -run '^$' -bench 'BenchmarkPipelineVerify' \
   -benchtime "$BENCHTIME" ./internal/verify/
 
 echo
-echo "== full suite wall time (scale 1, default -j) + verifier overhead =="
+echo "== full suite wall time (scale 1, default -j) + verifier/equiv overhead =="
 # -verifyoverhead re-runs the suite with the static verifier gating every
 # stage and records verify_wall_seconds / verify_overhead_fraction in the
 # benchjson. The verifier's serial cost is ~4% of pipeline CPU (see the
@@ -54,12 +54,37 @@ echo "== full suite wall time (scale 1, default -j) + verifier overhead =="
 # the warm hit tally under store_cold_wall_seconds / store_warm_wall_seconds
 # / "store" in the benchjson. The main suite stays storeless so
 # wall_seconds remains comparable across PRs.
+#
+# -equivoverhead records translation validation's cost in two regimes.
+# equiv_overhead_fraction is the cold cost: a storeless suite run proving
+# every optimized package from scratch by symbolic path enumeration —
+# expensive by design (it visits every acyclic path of every package) and
+# reported for visibility, not budgeted. equiv_warm_overhead_fraction is
+# the steady-state cost: certificates ride the package-set artifact, so a
+# store-backed rerun serves proved packages from disk and re-proves
+# nothing. That is what a continuously-operating pipeline pays per run
+# (prove once per image+config, reuse until either changes), and the
+# budget is < 5%: a larger fraction means proofs stopped being served
+# from the store and the key scheme or artifact round-trip regressed.
 store_tmp="$(mktemp -d)"
 trap 'rm -rf "$store_tmp"' EXIT
-go run ./cmd/vpbench -q -scale 1 -reps 7 -verifyoverhead \
+go run ./cmd/vpbench -q -scale 1 -reps 7 -verifyoverhead -equivoverhead \
   -store "$store_tmp" -storecompare -benchjson BENCH_pipeline.json >/dev/null
 echo "BENCH_pipeline.json refreshed:"
-grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"|"superblock_|"verify_|"store_' BENCH_pipeline.json | tail -12
+grep -E '"wall_seconds"|"jobs"|"insts_per_second"|"blockcache_hit_rate"|"superblock_|"verify_|"equiv_|"store_' BENCH_pipeline.json | tail -16
+
+# Enforce the steady-state equiv budget recorded above.
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_pipeline.json"))["latest"]
+f = d.get("equiv_warm_overhead_fraction")
+cold = d.get("equiv_overhead_fraction")
+if f is None:
+    raise SystemExit("bench.sh: equiv_warm_overhead_fraction missing from BENCH_pipeline.json")
+print(f"equiv overhead: cold {cold:.1%} (full proving), warm {f:.1%} (store-served, budget < 5%)")
+if f >= 0.05:
+    raise SystemExit(f"bench.sh: steady-state equiv overhead {f:.1%} exceeds the 5% budget")
+EOF
 
 echo
 echo "== drift-tracker ingest cost (internal/drift) =="

@@ -12,8 +12,9 @@ go vet ./...
 go vet ./internal/obs/...
 go vet ./internal/telemetry/...
 
-# Repository-specific static checks (insts-mutation, dropped-observer)
-# via the vet unitchecker protocol; vplint needs an absolute path.
+# Repository-specific static checks (insts-mutation, dropped-observer,
+# mutate-after-hash) via the vet unitchecker protocol; vplint needs an
+# absolute path.
 mkdir -p bin
 go build -o bin/vplint ./cmd/vplint
 go vet -vettool="$(pwd)/bin/vplint" ./...
@@ -37,12 +38,23 @@ go test -race ./internal/drift/...
 # corruption-safety (truncated/bit-flipped/missing segments, stale or
 # tampered manifests) and GC, all under the race detector.
 go test -race ./internal/cas/...
+# Translation validation: concurrent proofs share nothing but the
+# read-only snapshot; race the whole prover, including the mutation
+# corpus (every seeded semantic bug must be refuted with a usable
+# counterexample — TestMutationCorpus fails otherwise).
+go test -race ./internal/equiv/...
 
 # Verifier-gated pipeline pass: every stage's output re-checked against
 # the internal/verify rule catalog on a real multi-benchmark run. Any
 # rule firing exits 3 and fails verification here.
 go run ./cmd/vpverify -q -bench gzip -input A -scale 1
 go run ./cmd/vpverify -q -bench perl -input A -scale 1
+
+# Equivalence-gated pipeline pass: every optimized package of every
+# variant symbolically proved against the region code it replaced (exit
+# 4 on refutation — a live miscompile in the opt/pack passes).
+go run ./cmd/vpverify -q -equiv -bench gzip -input A -scale 1
+go run ./cmd/vpverify -q -equiv -bench m88ksim -input A -scale 1
 
 # Trace regression gate: the golden is Normalize()d (wall times zeroed),
 # so this diff bites exactly on the deterministic pipeline counters —
